@@ -1,0 +1,50 @@
+"""Fig. 4: corpus characterisation.
+
+(a) LoC after preprocessing: power-law-ish, most shaders < 50 lines, max
+    around 300; (b) ARM static cycle counts: similar long-tailed shape;
+(c) unique LunarGlass variants per shader: max <= 48, most < 10.
+"""
+
+from repro.analysis.cycle_analyzer import arm_static_cycles
+from repro.analysis.static_metrics import loc_distribution, loc_summary
+from repro.analysis.uniqueness import uniqueness_summary, variant_count_distribution
+from repro.reporting import render_histogram
+
+
+def test_fig4a_lines_of_code(benchmark, corpus):
+    values = benchmark(loc_distribution, corpus)
+    summary = loc_summary(corpus)
+    print()
+    print(render_histogram(values, title="Fig. 4a: LoC after preprocessing"))
+    print(f"shaders={summary['count']} max={summary['max']} "
+          f"median={summary['median']} <50LoC={summary['fraction_under_50']:.0%}")
+    print("paper: most shaders <50 lines, longest ~300")
+    assert summary["fraction_under_50"] > 0.5
+    assert summary["max"] <= 300
+
+
+def test_fig4b_arm_static_cycles(benchmark, corpus):
+    sample = corpus  # full corpus; the analyser is static and fast
+    values = benchmark(lambda: sorted(
+        (arm_static_cycles(c.source) for c in sample), reverse=True))
+    print()
+    print(render_histogram(values,
+                           title="Fig. 4b: ARM static cycles "
+                                 "(arith+load/store+texture, longest path)"))
+    # Power-law-like: the median shader is far below the max.
+    assert values[len(values) // 2] < values[0] / 3
+
+
+def test_fig4c_unique_variants(benchmark, study):
+    values = benchmark(variant_count_distribution, study)
+    summary = uniqueness_summary(study)
+    print()
+    print(render_histogram(values, bins=10,
+                           title="Fig. 4c: unique variants per shader "
+                                 "(of 256 combinations)"))
+    print(f"max={summary['max']} median={summary['median']} "
+          f"<10 variants={summary['fraction_under_10']:.0%} "
+          f"total measured={summary['total_measured_variants']}")
+    print("paper: max 48 distinct versions, most shaders <10")
+    assert summary["max"] <= 48
+    assert summary["fraction_under_10"] > 0.5

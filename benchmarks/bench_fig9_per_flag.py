@@ -1,0 +1,63 @@
+"""Fig. 9: isolated per-flag speed-up distributions (violins) per platform,
+measured against the all-flags-off LunarGlass baseline.
+
+Key paper shapes asserted here:
+- ADCE: exactly zero (modulo noise);
+- Unroll: always-positive and largest on AMD, near-zero on Intel/NVIDIA
+  (their drivers already unroll), material on ARM;
+- FP-Reassociate: positive mean on every scalar-ISA platform, a deep (~-20%)
+  trough on the vector-ISA ARM Mali;
+- GVN: only Qualcomm (no driver GVN) sees real gains;
+- Hoist: wide spread with deep pathological troughs on every platform.
+"""
+
+from repro.analysis.flags import isolated_flag_impact
+from repro.passes import ALL_FLAG_NAMES
+from repro.reporting import render_violin_table
+
+
+def test_fig9_isolated_flag_impacts(benchmark, study):
+    def compute():
+        return {
+            platform: {name: isolated_flag_impact(study, platform, name)
+                       for name in ALL_FLAG_NAMES}
+            for platform in study.platforms
+        }
+
+    impacts = benchmark(compute)
+
+    print()
+    for platform, flags in impacts.items():
+        print(render_violin_table(
+            {name: impact.speedups_pct for name, impact in flags.items()},
+            title=f"Fig. 9 ({platform}): isolated flag speed-up % "
+                  f"vs all-off baseline"))
+        print()
+
+    # ADCE: pure noise.
+    for platform in study.platforms:
+        assert abs(impacts[platform]["adce"].mean) < 0.5
+
+    # Unroll: AMD biggest (no driver unroll), Intel/NVIDIA/Qualcomm ~0.
+    assert impacts["AMD"]["unroll"].mean > 3.0
+    assert impacts["AMD"]["unroll"].trough > -1.0, "unroll never hurts on AMD"
+    assert abs(impacts["Intel"]["unroll"].mean) < 1.0
+    assert impacts["ARM"]["unroll"].peak > 20.0, "unroll is ARM's best flag"
+
+    # FP reassociation: ARM (vector ISA) has the deepest trough and the
+    # weakest mean of the five platforms.
+    arm_fp = impacts["ARM"]["fp_reassociate"]
+    for platform in ("Intel", "AMD", "NVIDIA"):
+        fp = impacts[platform]["fp_reassociate"]
+        assert fp.mean > 0.5
+        assert arm_fp.trough < fp.trough
+        assert arm_fp.mean < fp.mean
+
+    # GVN: gains only on Qualcomm.
+    assert impacts["Qualcomm"]["gvn"].peak > 2.0
+    for platform in ("Intel", "AMD", "NVIDIA"):
+        assert abs(impacts[platform]["gvn"].mean) < 0.5
+
+    # Hoist: pathological troughs everywhere.
+    for platform in study.platforms:
+        assert impacts[platform]["hoist"].trough < -5.0

@@ -1,0 +1,26 @@
+"""Compiler-infrastructure throughput benchmarks (pytest-benchmark timing of
+the pipeline itself rather than a paper figure): how fast the offline
+optimizer, the variant explosion, and a platform measurement run."""
+
+from repro.core import ShaderCompiler, compile_shader
+from repro.corpus import MOTIVATING_SHADER
+from repro.gpu.vendors import NVIDIA
+from repro.harness.environment import ShaderExecutionEnvironment
+from repro.passes import DEFAULT_LUNARGLASS, OptimizationFlags
+
+
+def test_bench_full_pipeline_compile(benchmark):
+    result = benchmark(compile_shader, MOTIVATING_SHADER, DEFAULT_LUNARGLASS)
+    assert result.output
+
+
+def test_bench_all_256_variants(benchmark):
+    compiler = ShaderCompiler(MOTIVATING_SHADER)
+    variants = benchmark(compiler.all_variants)
+    assert 1 < variants.unique_count <= 48
+
+
+def test_bench_environment_run(benchmark):
+    env = ShaderExecutionEnvironment(NVIDIA)
+    report = benchmark(env.run, MOTIVATING_SHADER, 7)
+    assert report.true_ns > 0

@@ -1,0 +1,37 @@
+"""Shared study fixture for the benchmark harness.
+
+The exhaustive study (48+ shaders x 256 combos x 5 platforms) takes about a
+minute; it runs once per session and is cached on disk under ``.cache/`` so
+repeated benchmark invocations print their figures from the same data.
+Delete ``.cache/study.json`` to force a fresh run.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro import StudyConfig, default_corpus, run_study
+from repro.harness.results import StudyResult
+
+_CACHE = pathlib.Path(__file__).resolve().parent.parent / ".cache" / "study.json"
+
+
+@pytest.fixture(scope="session")
+def study() -> StudyResult:
+    if _CACHE.exists() and not os.environ.get("REPRO_FORCE_STUDY"):
+        try:
+            return StudyResult.from_json(_CACHE.read_text())
+        except Exception:
+            pass
+    result = run_study(default_corpus(), StudyConfig())
+    _CACHE.parent.mkdir(exist_ok=True)
+    _CACHE.write_text(result.to_json())
+    return result
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return default_corpus()

@@ -1,0 +1,45 @@
+"""Run a small cross-platform study (a scaled-down version of the paper's
+full evaluation) and print Table-I-style best static flags plus Fig.-9-style
+per-flag summaries.
+
+Run:  python examples/cross_platform_study.py
+"""
+
+from repro import StudyConfig, run_study
+from repro.analysis.flags import best_static_flags, isolated_flag_impact
+from repro.analysis.speedups import average_speedups
+from repro.corpus import default_corpus
+from repro.passes import ALL_FLAG_NAMES
+from repro.reporting import render_table, render_violin_table
+
+
+def main() -> None:
+    corpus = default_corpus(families=["blur", "phong", "fog", "tonemap",
+                                      "ssao", "sprite"])
+    print(f"running exhaustive study over {len(corpus)} shaders "
+          f"(256 combos each, 5 platforms)...")
+    study = run_study(corpus, StudyConfig(seed=7, verbose=True))
+
+    print()
+    rows = [(r.platform, r.best_possible, r.best_static, r.default_lunarglass)
+            for r in average_speedups(study)]
+    print(render_table(
+        ["platform", "best %", "best static %", "default %"], rows,
+        title="Average speed-ups (Fig. 5 style)"))
+
+    print()
+    rows = [(p, str(best_static_flags(study, p))) for p in study.platforms]
+    print(render_table(["platform", "best static flags"], rows,
+                       title="Best static flags (Table I style)"))
+
+    print()
+    for platform in ("AMD", "ARM"):
+        data = {name: isolated_flag_impact(study, platform, name).speedups_pct
+                for name in ALL_FLAG_NAMES}
+        print(render_violin_table(
+            data, title=f"Isolated flag impact on {platform} (Fig. 9 style)"))
+        print()
+
+
+if __name__ == "__main__":
+    main()

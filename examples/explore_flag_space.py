@@ -1,0 +1,37 @@
+"""Exhaustively explore all 256 flag combinations for one shader and find
+the best set per platform — the paper's iterative-compilation workflow on a
+single shader.
+
+Run:  python examples/explore_flag_space.py
+"""
+
+from repro import ShaderCompiler, all_platforms
+from repro.corpus import default_corpus
+from repro.harness.environment import ShaderExecutionEnvironment
+
+
+def main() -> None:
+    case = next(c for c in default_corpus() if c.name == "pbr.l2_aces")
+    print(f"shader: {case.name} (family {case.family})")
+
+    compiler = ShaderCompiler(case.source)
+    variants = compiler.all_variants()
+    print(f"256 flag combinations collapse to {variants.unique_count} "
+          f"unique shader texts\n")
+
+    for platform in all_platforms():
+        env = ShaderExecutionEnvironment(platform)
+        base = env.run(case.source, seed=10).measurement.mean_ns
+        best_time = base
+        best_flags = "leave untouched"
+        for text, combos in variants.items():
+            time_ns = env.run(text, seed=11).measurement.mean_ns
+            if time_ns < best_time:
+                best_time = time_ns
+                best_flags = str(min(combos, key=lambda f: f.index))
+        gain = (base / best_time - 1.0) * 100.0
+        print(f"{platform.name:10s} best={best_flags:40s} gain={gain:+6.2f}%")
+
+
+if __name__ == "__main__":
+    main()

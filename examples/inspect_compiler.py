@@ -1,0 +1,54 @@
+"""Peek inside the compiler: IR before/after passes, vendor JIT differences,
+and the cost model's view of one shader.
+
+Run:  python examples/inspect_compiler.py
+"""
+
+from repro import OptimizationFlags, ShaderCompiler, all_platforms
+from repro.gpu.cost import estimate_kernel
+from repro.harness.environment import ShaderExecutionEnvironment
+
+SHADER = """
+uniform sampler2D tex;
+uniform float strength;
+in vec2 uv;
+out vec4 fragColor;
+void main() {
+    vec4 acc = vec4(0.0);
+    for (int i = 0; i < 5; i++) {
+        acc += texture(tex, uv + vec2(float(i) * 0.01, 0.0)) * 0.2;
+    }
+    if (strength > 0.5) { acc = acc * strength; } else { acc = acc * 0.5; }
+    fragColor = acc;
+}
+"""
+
+
+def main() -> None:
+    compiler = ShaderCompiler(SHADER)
+
+    none = compiler.compile(OptimizationFlags.none())
+    print("=== IR with all flags off ===")
+    print(none.module.dump())
+
+    full = compiler.compile(OptimizationFlags(unroll=True, hoist=True,
+                                              fp_reassociate=True))
+    print("\n=== IR after unroll + hoist + FP reassociation ===")
+    print(full.module.dump())
+    print("\n=== re-emitted GLSL ===")
+    print(full.output)
+
+    print("=== what each vendor's driver does to the unoptimized source ===")
+    for platform in all_platforms():
+        module = platform.jit.compile(none.output)
+        env = ShaderExecutionEnvironment(platform)
+        cost = estimate_kernel(module.function, platform.spec,
+                               env.profile(module))
+        blocks = len(module.function.blocks)
+        print(f"{platform.name:10s} blocks={blocks:2d} "
+              f"cycles/frag={cost.cycles_per_fragment:8.1f} "
+              f"regs={cost.registers:3d} occupancy={cost.occupancy:.2f}")
+
+
+if __name__ == "__main__":
+    main()

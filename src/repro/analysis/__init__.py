@@ -1,0 +1,17 @@
+"""Analyses behind every table and figure in the paper's evaluation."""
+
+from repro.analysis.static_metrics import loc_distribution
+from repro.analysis.cycle_analyzer import arm_static_cycles
+from repro.analysis.uniqueness import variant_count_distribution
+from repro.analysis.speedups import (
+    average_speedups, per_shader_distribution, top_shaders,
+)
+from repro.analysis.flags import (
+    best_static_flags, flag_applicability, isolated_flag_impact,
+)
+
+__all__ = [
+    "loc_distribution", "arm_static_cycles", "variant_count_distribution",
+    "average_speedups", "per_shader_distribution", "top_shaders",
+    "best_static_flags", "flag_applicability", "isolated_flag_impact",
+]

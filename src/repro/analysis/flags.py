@@ -1,0 +1,157 @@
+"""Flag-level analyses: Table I (best static flags), Fig. 8 (applicability /
+optimality), Fig. 9 (isolated per-flag impact)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.harness.results import ShaderResult, StudyResult
+from repro.passes import ALL_FLAG_NAMES, OptimizationFlags
+
+
+def best_static_flags(study: StudyResult, platform: str) -> OptimizationFlags:
+    """The flag combination maximizing mean speed-up across all shaders
+    (Table I).  Ties break toward the *minimal* flag set, matching the
+    paper's note that no-op flags (ADCE) "can be safely omitted from the
+    minimal optimal flag selection"."""
+    best: Optional[OptimizationFlags] = None
+    best_score = float("-inf")
+    for index in range(256):
+        flags = OptimizationFlags.from_index(index)
+        score = _mean_speedup(study, platform, flags)
+        better = score > best_score + 1e-9
+        tie = abs(score - best_score) <= 1e-9
+        if better or (tie and best is not None
+                      and len(flags.enabled()) < len(best.enabled())):
+            best = flags
+            best_score = score
+    assert best is not None
+    return best
+
+
+def _mean_speedup(study: StudyResult, platform: str,
+                  flags: OptimizationFlags) -> float:
+    total = 0.0
+    for shader in study.shaders:
+        total += shader.speedup_pct(platform, flags)
+    return total / max(len(study.shaders), 1)
+
+
+def mean_speedup(study: StudyResult, platform: str,
+                 flags: OptimizationFlags) -> float:
+    """Public wrapper for the Table I / Fig. 5 metric."""
+    return _mean_speedup(study, platform, flags)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8: applicability and optimality
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FlagApplicability:
+    """Counts for one flag across the corpus (one Fig. 8 subplot)."""
+
+    flag: str
+    total_shaders: int = 0          # blue
+    changes_code: int = 0           # red: flag alters output for some combo
+    in_optimal_set: int = 0         # green: flag on in >=half of best-10% variants
+
+    @property
+    def applicability(self) -> float:
+        return self.changes_code / max(self.total_shaders, 1)
+
+
+def flag_applicability(study: StudyResult,
+                       platform: str) -> Dict[str, FlagApplicability]:
+    """Fig. 8 for one platform."""
+    results = {name: FlagApplicability(flag=name, total_shaders=len(study.shaders))
+               for name in ALL_FLAG_NAMES}
+    for shader in study.shaders:
+        variant_of: Dict[int, int] = {}
+        for variant in shader.variants:
+            for index in variant.flag_indices:
+                variant_of[index] = variant.variant_id
+        for bit, name in enumerate(ALL_FLAG_NAMES):
+            if _flag_changes_code(variant_of, bit):
+                results[name].changes_code += 1
+        optimal = _optimal_variant_flags(shader, platform)
+        for name in optimal:
+            results[name].in_optimal_set += 1
+    return results
+
+
+def _flag_changes_code(variant_of: Dict[int, int], bit: int) -> bool:
+    mask = 1 << bit
+    for index in range(256):
+        if index & mask:
+            continue
+        if variant_of[index] != variant_of[index | mask]:
+            return True
+    return False
+
+
+def _optimal_variant_flags(shader: ShaderResult, platform: str) -> List[str]:
+    """Flags on in at least half of the best-10% variants (paper's green
+    criterion: "included for at least half of the optimal 10% of variants")."""
+    ranked = sorted(shader.variants,
+                    key=lambda v: v.times_ns[platform])
+    top_n = max(1, round(len(ranked) * 0.10))
+    top = ranked[:top_n]
+    winners: List[str] = []
+    for bit, name in enumerate(ALL_FLAG_NAMES):
+        mask = 1 << bit
+        votes = 0
+        for variant in top:
+            # A variant corresponds to many combos; call the flag "on" when
+            # at least one producing combo has it on AND turning it off would
+            # leave this variant (i.e. the flag is materially involved).
+            on = any(index & mask for index in variant.flag_indices)
+            off = any(not (index & mask) for index in variant.flag_indices)
+            if on and not off:
+                votes += 1
+        if votes * 2 >= len(top):
+            winners.append(name)
+    return winners
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9: isolated flag impact
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class IsolatedImpact:
+    """Speed-up distribution of one flag alone vs the all-off baseline."""
+
+    flag: str
+    platform: str
+    speedups_pct: List[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.speedups_pct) / max(len(self.speedups_pct), 1)
+
+    @property
+    def peak(self) -> float:
+        return max(self.speedups_pct) if self.speedups_pct else 0.0
+
+    @property
+    def trough(self) -> float:
+        return min(self.speedups_pct) if self.speedups_pct else 0.0
+
+
+def isolated_flag_impact(study: StudyResult, platform: str,
+                         flag: str) -> IsolatedImpact:
+    """Fig. 9: each flag alone, measured against the LunarGlass all-flags-off
+    baseline (NOT the unaltered shader — Section VI-D explains this isolates
+    the pass's effect from code-generation artifacts)."""
+    result = IsolatedImpact(flag=flag, platform=platform)
+    none_flags = OptimizationFlags.none()
+    single = OptimizationFlags.single(flag)
+    for shader in study.shaders:
+        base = shader.variant_for_flags(none_flags).times_ns[platform]
+        time = shader.variant_for_flags(single).times_ns[platform]
+        result.speedups_pct.append((base / time - 1.0) * 100.0)
+    return result

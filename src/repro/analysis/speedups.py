@@ -1,0 +1,87 @@
+"""Speed-up aggregations: Fig. 5 (overall averages), Fig. 6 (top-30 shaders),
+Fig. 7 (per-shader distributions), Fig. 3 (blanket-optimization distribution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.flags import best_static_flags, mean_speedup
+from repro.harness.results import StudyResult
+from repro.passes import DEFAULT_LUNARGLASS, OptimizationFlags
+
+
+@dataclass
+class OverallSpeedups:
+    """Fig. 5 rows for one platform."""
+
+    platform: str
+    best_possible: float      # per-shader best variant, averaged
+    best_static: float        # single best flag set for the platform
+    default_lunarglass: float
+
+
+def average_speedups(study: StudyResult) -> List[OverallSpeedups]:
+    out: List[OverallSpeedups] = []
+    for platform in study.platforms:
+        best_pct = sum(s.best_speedup_pct(platform) for s in study.shaders)
+        best_pct /= max(len(study.shaders), 1)
+        static = best_static_flags(study, platform)
+        out.append(OverallSpeedups(
+            platform=platform,
+            best_possible=best_pct,
+            best_static=mean_speedup(study, platform, static),
+            default_lunarglass=mean_speedup(study, platform,
+                                            DEFAULT_LUNARGLASS),
+        ))
+    return out
+
+
+@dataclass
+class PerShaderDistribution:
+    """Fig. 7 series for one platform (green/red/blue in the paper)."""
+
+    platform: str
+    shaders: List[str] = field(default_factory=list)
+    best_possible: List[float] = field(default_factory=list)   # green
+    default_lunarglass: List[float] = field(default_factory=list)  # red
+    best_static: List[float] = field(default_factory=list)     # blue
+
+
+def per_shader_distribution(study: StudyResult,
+                            platform: str) -> PerShaderDistribution:
+    static = best_static_flags(study, platform)
+    dist = PerShaderDistribution(platform=platform)
+    rows = []
+    for shader in study.shaders:
+        rows.append((
+            shader.best_speedup_pct(platform),
+            shader.speedup_pct(platform, DEFAULT_LUNARGLASS),
+            shader.speedup_pct(platform, static),
+            shader.name,
+        ))
+    rows.sort(reverse=True)  # paper plots sorted by best possible
+    for best, default, stat, name in rows:
+        dist.shaders.append(name)
+        dist.best_possible.append(best)
+        dist.default_lunarglass.append(default)
+        dist.best_static.append(stat)
+    return dist
+
+
+def top_shaders(study: StudyResult, platform: str,
+                count: int = 30) -> Dict[str, float]:
+    """Fig. 6: the `count` most-improved shaders (best-variant speed-up)."""
+    scored = sorted(
+        ((s.best_speedup_pct(platform), s.name) for s in study.shaders),
+        reverse=True)
+    return {name: pct for pct, name in scored[:count]}
+
+
+def blanket_distribution(study: StudyResult, platform: str,
+                         flags: OptimizationFlags) -> List[float]:
+    """Fig. 3 (right): apply one flag set to every shader; the speed-up
+    distribution that motivates per-shader adaptivity."""
+    return sorted((s.speedup_pct(platform, flags) for s in study.shaders),
+                  reverse=True)

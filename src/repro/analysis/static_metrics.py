@@ -1,0 +1,25 @@
+"""Static code-size statistics (paper Fig. 4a)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.glsl.metrics import lines_of_code
+from repro.harness.results import ShaderCase
+
+
+def loc_distribution(corpus: Sequence[ShaderCase]) -> List[int]:
+    """Per-shader LoC after preprocessing, sorted descending (Fig. 4a)."""
+    return sorted((lines_of_code(case.source) for case in corpus), reverse=True)
+
+
+def loc_summary(corpus: Sequence[ShaderCase]) -> Dict[str, float]:
+    values = loc_distribution(corpus)
+    under_50 = sum(1 for v in values if v < 50)
+    return {
+        "count": len(values),
+        "max": max(values),
+        "min": min(values),
+        "median": values[len(values) // 2],
+        "fraction_under_50": under_50 / len(values),
+    }

@@ -1,0 +1,23 @@
+"""Unique-variant statistics (paper Fig. 4c)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.harness.results import StudyResult
+
+
+def variant_count_distribution(study: StudyResult) -> List[int]:
+    """Unique variants per shader, sorted descending (Fig. 4c's series)."""
+    return sorted((s.unique_variant_count for s in study.shaders), reverse=True)
+
+
+def uniqueness_summary(study: StudyResult) -> Dict[str, float]:
+    counts = variant_count_distribution(study)
+    return {
+        "count": len(counts),
+        "max": max(counts),
+        "median": counts[len(counts) // 2],
+        "fraction_under_10": sum(1 for c in counts if c < 10) / len(counts),
+        "total_measured_variants": sum(counts),
+    }

@@ -1,0 +1,139 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's workflow:
+
+- ``optimize``  — run the offline optimizer over a GLSL file.
+- ``variants``  — count/list the unique variants of a shader (Fig. 4c).
+- ``time``      — time a shader on one or all simulated platforms.
+- ``study``     — run the exhaustive study over the corpus and print the
+                  Fig. 5 / Table I summaries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.flags import best_static_flags
+from repro.analysis.speedups import average_speedups
+from repro.core import ShaderCompiler, optimize_source
+from repro.corpus import default_corpus
+from repro.gpu.platform import all_platforms, platform_by_name
+from repro.harness.environment import ShaderExecutionEnvironment
+from repro.harness.study import StudyConfig, run_study
+from repro.passes import ALL_FLAG_NAMES, DEFAULT_LUNARGLASS, OptimizationFlags
+from repro.reporting import render_table
+
+
+def parse_flags(text: str) -> OptimizationFlags:
+    """Parse "unroll,fp_reassociate" / "default" / "all" / "none"."""
+    if text == "default":
+        return DEFAULT_LUNARGLASS
+    if text == "all":
+        return OptimizationFlags.all()
+    if text == "none" or not text:
+        return OptimizationFlags.none()
+    flags = OptimizationFlags.none()
+    for name in text.split(","):
+        name = name.strip()
+        if name not in ALL_FLAG_NAMES:
+            raise SystemExit(
+                f"unknown flag {name!r}; choose from {', '.join(ALL_FLAG_NAMES)}")
+        flags = flags.with_flag(name, True)
+    return flags
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    source = sys.stdin.read() if args.file == "-" else open(args.file).read()
+    print(optimize_source(source, parse_flags(args.flags), es=args.es), end="")
+    return 0
+
+
+def _cmd_variants(args: argparse.Namespace) -> int:
+    source = sys.stdin.read() if args.file == "-" else open(args.file).read()
+    variants = ShaderCompiler(source).all_variants()
+    print(f"{variants.unique_count} unique variants from 256 combinations")
+    for index, (text, combos) in enumerate(variants.items()):
+        smallest = min(combos, key=lambda f: f.index)
+        print(f"  variant {index}: {len(combos):3d} combos, "
+              f"e.g. [{smallest}] ({len(text.splitlines())} lines)")
+    return 0
+
+
+def _cmd_time(args: argparse.Namespace) -> int:
+    source = sys.stdin.read() if args.file == "-" else open(args.file).read()
+    flags = parse_flags(args.flags)
+    optimized = optimize_source(source, flags)
+    platforms = (all_platforms() if args.platform == "all"
+                 else [platform_by_name(args.platform)])
+    rows = []
+    for platform in platforms:
+        env = ShaderExecutionEnvironment(platform)
+        base = env.run(source, seed=args.seed).measurement.mean_us
+        opt = env.run(optimized, seed=args.seed + 1).measurement.mean_us
+        rows.append((platform.name, base, opt, (base / opt - 1.0) * 100.0))
+    print(render_table(["platform", "original us", "optimized us", "speed-up %"],
+                       rows, title=f"flags: {flags}"))
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    corpus = default_corpus(max_shaders=args.max_shaders or None)
+    study = run_study(corpus, StudyConfig(seed=args.seed, verbose=True))
+    print()
+    rows = [(r.platform, r.best_possible, r.best_static, r.default_lunarglass)
+            for r in average_speedups(study)]
+    print(render_table(
+        ["platform", "best %", "best static %", "default %"], rows,
+        title="Average speed-ups (Fig. 5)"))
+    print()
+    rows = [(p, str(best_static_flags(study, p))) for p in study.platforms]
+    print(render_table(["platform", "best static flags"], rows,
+                       title="Best static flags (Table I)"))
+    if args.output:
+        open(args.output, "w").write(study.to_json())
+        print(f"\nstudy saved to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ISPASS 2018 shader compiler optimization reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("optimize", help="offline-optimize a GLSL file")
+    p.add_argument("file", help="fragment shader path, or - for stdin")
+    p.add_argument("--flags", default="default",
+                   help="comma list / 'default' / 'all' / 'none'")
+    p.add_argument("--es", action="store_true", help="emit the GLES dialect")
+    p.set_defaults(fn=_cmd_optimize)
+
+    p = sub.add_parser("variants", help="enumerate unique variants (Fig. 4c)")
+    p.add_argument("file")
+    p.set_defaults(fn=_cmd_variants)
+
+    p = sub.add_parser("time", help="time a shader on the simulated GPUs")
+    p.add_argument("file")
+    p.add_argument("--flags", default="default")
+    p.add_argument("--platform", default="all",
+                   help="Intel|AMD|NVIDIA|ARM|Qualcomm|all")
+    p.add_argument("--seed", type=int, default=2018)
+    p.set_defaults(fn=_cmd_time)
+
+    p = sub.add_parser("study", help="run the exhaustive corpus study")
+    p.add_argument("--max-shaders", type=int, default=0)
+    p.add_argument("--seed", type=int, default=2018)
+    p.add_argument("--output", default="", help="save study JSON here")
+    p.set_defaults(fn=_cmd_study)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

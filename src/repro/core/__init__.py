@@ -1,0 +1,13 @@
+"""The paper's primary contribution: the offline shader optimization pipeline
+(GLSL -> IR -> flag-controlled passes -> GLSL) and the exhaustive flag-space
+exploration built on top of it."""
+
+from repro.core.pipeline import (
+    CompiledShader, ShaderCompiler, VariantSet, compile_shader,
+    optimize_source, unique_variants,
+)
+
+__all__ = [
+    "CompiledShader", "ShaderCompiler", "VariantSet", "compile_shader",
+    "optimize_source", "unique_variants",
+]

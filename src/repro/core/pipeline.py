@@ -1,0 +1,99 @@
+"""End-to-end source-to-source pipeline (the LunarGlass role).
+
+``optimize_source(source, flags)`` is the paper's offline optimizer: GLSL in,
+transformed GLSL out, with compilation artifacts included.
+``unique_variants(source)`` runs all 256 flag combinations and deduplicates
+the emitted text — Fig. 4c's "unique shader variants" statistic.  A
+:class:`ShaderCompiler` caches the parse+lower work so the 256 combinations
+run off cheap IR clones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.glsl import parse_shader, preprocess
+from repro.ir import emit_glsl, lower_shader, promote_to_ssa
+from repro.ir.clone import clone_module
+from repro.ir.module import Module
+from repro.passes import OptimizationFlags, run_passes
+
+
+@dataclass
+class CompiledShader:
+    """A shader taken through the pipeline under one flag combination."""
+
+    source: str
+    flags: OptimizationFlags
+    module: Module
+    output: str
+    pass_stats: Dict[str, int] = field(default_factory=dict)
+
+
+class ShaderCompiler:
+    """Front-end work shared across flag combinations of one shader."""
+
+    def __init__(self, source: str, defines: Optional[Dict[str, str]] = None):
+        self.source = source
+        pp = preprocess(source, defines)
+        self.version = pp.version
+        shader = parse_shader(pp.text)
+        self._module = lower_shader(shader, version=pp.version)
+        promote_to_ssa(self._module.function)
+
+    def compile(self, flags: OptimizationFlags, es: bool = False) -> CompiledShader:
+        module = clone_module(self._module)
+        stats = run_passes(module, flags)
+        output = emit_glsl(module, es=es)
+        return CompiledShader(source=self.source, flags=flags, module=module,
+                              output=output, pass_stats=stats)
+
+    def all_variants(self, es: bool = False) -> "VariantSet":
+        """Compile all 256 combinations and deduplicate the emitted text."""
+        by_text: Dict[str, List[OptimizationFlags]] = {}
+        for flags in OptimizationFlags.all_combinations():
+            compiled = self.compile(flags, es=es)
+            by_text.setdefault(compiled.output, []).append(flags)
+        return VariantSet(by_text)
+
+
+@dataclass
+class VariantSet:
+    """Distinct emitted texts -> the flag combinations that produce them."""
+
+    by_text: Dict[str, List[OptimizationFlags]]
+
+    @property
+    def unique_count(self) -> int:
+        return len(self.by_text)
+
+    def text_for(self, flags: OptimizationFlags) -> str:
+        for text, combos in self.by_text.items():
+            if any(f.index == flags.index for f in combos):
+                return text
+        raise KeyError(f"flags {flags} not found in variant set")
+
+    def items(self):
+        return self.by_text.items()
+
+
+def compile_shader(source: str, flags: Optional[OptimizationFlags] = None,
+                   defines: Optional[Dict[str, str]] = None,
+                   es: bool = False) -> CompiledShader:
+    """Preprocess, parse, lower, optimize, and re-emit *source*."""
+    flags = flags or OptimizationFlags.none()
+    return ShaderCompiler(source, defines).compile(flags, es=es)
+
+
+def optimize_source(source: str, flags: OptimizationFlags,
+                    defines: Optional[Dict[str, str]] = None,
+                    es: bool = False) -> str:
+    """Source-to-source optimization; the paper's core tool invocation."""
+    return compile_shader(source, flags, defines, es).output
+
+
+def unique_variants(source: str, defines: Optional[Dict[str, str]] = None,
+                    es: bool = False) -> Dict[str, List[OptimizationFlags]]:
+    """Map each distinct emitted text to the flag combinations producing it."""
+    return ShaderCompiler(source, defines).all_variants(es=es).by_text

@@ -1,0 +1,15 @@
+"""Synthetic GFXBench-4.0-style fragment shader corpus.
+
+GFXBench is proprietary (the paper extracted its shaders from the Mesa
+driver at run time); this package substitutes a deterministic corpus of
+übershader *families* specialised by ``#define`` blocks — the same structure
+the paper describes: "some shaders are identical apart from preprocessor
+#define statements, forming families of similar shaders".  The size
+distribution follows the paper's Fig. 4a power law: many tiny shaders, a
+long tail, nothing above ~300 lines.
+"""
+
+from repro.corpus.generator import default_corpus, corpus_families
+from repro.corpus.motivating import MOTIVATING_SHADER
+
+__all__ = ["default_corpus", "corpus_families", "MOTIVATING_SHADER"]

@@ -1,0 +1,32 @@
+"""Corpus assembly: instantiate every family and expose the default corpus."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.corpus.templates import ALL_FAMILIES
+from repro.corpus.ubershader import Family
+from repro.harness.results import ShaderCase
+
+
+def corpus_families() -> Dict[str, Family]:
+    """All übershader families by name."""
+    return dict(ALL_FAMILIES)
+
+
+def default_corpus(max_shaders: Optional[int] = None,
+                   families: Optional[List[str]] = None) -> List[ShaderCase]:
+    """The default study corpus: every instance of every family.
+
+    ``families`` restricts to named families; ``max_shaders`` truncates (for
+    quick test runs).  Order is deterministic: family name, then variant
+    order within the family.
+    """
+    cases: List[ShaderCase] = []
+    for name in sorted(ALL_FAMILIES):
+        if families is not None and name not in families:
+            continue
+        cases.extend(ALL_FAMILIES[name].instances())
+    if max_shaders is not None:
+        cases = cases[:max_shaders]
+    return cases

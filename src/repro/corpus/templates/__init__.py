@@ -1,0 +1,10 @@
+"""Übershader template bodies, grouped roughly by rendering technique."""
+
+from repro.corpus.templates.simple import SIMPLE_FAMILIES
+from repro.corpus.templates.lighting import LIGHTING_FAMILIES
+from repro.corpus.templates.post import POST_FAMILIES
+
+ALL_FAMILIES = {**SIMPLE_FAMILIES, **LIGHTING_FAMILIES, **POST_FAMILIES}
+
+__all__ = ["ALL_FAMILIES", "SIMPLE_FAMILIES", "LIGHTING_FAMILIES",
+           "POST_FAMILIES"]

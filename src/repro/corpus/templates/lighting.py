@@ -1,0 +1,272 @@
+"""Lighting shader families: Phong, PBR übershader, normal mapping, water.
+
+These are the corpus's mid-to-large shaders: light loops (unrollable),
+specular branches (hoistable), long multiply-add chains (FP reassociation),
+and matrix work (the scalarization artifact).  The PBR template also carries
+helper functions that some specialisations never call — the paper notes such
+"unused function definitions" inflate the LoC metric.
+"""
+
+from repro.corpus.ubershader import Family, Variant
+
+_PHONG = """\
+out vec4 fragColor;
+in vec3 v_normal;
+in vec3 v_pos;
+in vec2 uv;
+uniform sampler2D albedo;
+uniform vec3 lightPos[4];
+uniform vec3 lightColor[4];
+uniform vec3 viewPos;
+uniform float shininess;
+
+void main()
+{
+    vec3 n = normalize(v_normal);
+    vec3 base = texture(albedo, uv).rgb;
+    vec3 total = base * 0.1;
+#ifdef LEGACY_AMBIENT
+    total = total + base * 0.0;
+#endif
+    for (int i = 0; i < NUM_LIGHTS; i++) {
+        vec3 l = normalize(lightPos[i] - v_pos);
+        float ndl = max(dot(n, l), 0.0);
+        vec3 contrib = base * lightColor[i] * ndl;
+#ifdef SPECULAR
+        vec3 v = normalize(viewPos - v_pos);
+        vec3 h = normalize(l + v);
+        float s = pow(max(dot(n, h), 0.0), shininess);
+        contrib = contrib + lightColor[i] * s * 0.5;
+#endif
+#ifdef ATTENUATION
+        float d = distance(lightPos[i], v_pos);
+        float att = 1.0 / (1.0 + 0.09 * d + 0.032 * d * d);
+        contrib = contrib * att;
+#endif
+        total += contrib;
+    }
+    fragColor = vec4(total, 1.0);
+}
+"""
+
+_PBR = """\
+out vec4 fragColor;
+in vec3 v_normal;
+in vec3 v_pos;
+in vec2 uv;
+uniform sampler2D albedoMap;
+uniform sampler2D materialMap;
+uniform vec3 lightPos[4];
+uniform vec3 lightColor[4];
+uniform vec3 viewPos;
+uniform float exposure;
+
+float distributionGGX(vec3 n, vec3 h, float roughness)
+{
+    float a = roughness * roughness;
+    float a2 = a * a;
+    float ndh = max(dot(n, h), 0.0);
+    float ndh2 = ndh * ndh;
+    float denom = ndh2 * (a2 - 1.0) + 1.0;
+    return a2 / (3.14159265 * denom * denom + 0.0001);
+}
+
+float geometrySchlick(float ndv, float roughness)
+{
+    float r = roughness + 1.0;
+    float k = r * r / 8.0;
+    return ndv / (ndv * (1.0 - k) + k);
+}
+
+float geometrySmith(vec3 n, vec3 v, vec3 l, float roughness)
+{
+    float ndv = max(dot(n, v), 0.0);
+    float ndl = max(dot(n, l), 0.0);
+    return geometrySchlick(ndv, roughness) * geometrySchlick(ndl, roughness);
+}
+
+vec3 fresnelSchlick(float cosTheta, vec3 f0)
+{
+    float p = 1.0 - cosTheta;
+    float p5 = p * p * p * p * p;
+    return f0 + (vec3(1.0) - f0) * p5;
+}
+
+vec3 tonemapACES(vec3 x)
+{
+    vec3 num = x * (2.51 * x + vec3(0.03));
+    vec3 den = x * (2.43 * x + vec3(0.59)) + vec3(0.14);
+    return clamp(num / den, vec3(0.0), vec3(1.0));
+}
+
+void main()
+{
+    vec3 n = normalize(v_normal);
+    vec3 v = normalize(viewPos - v_pos);
+    vec3 albedo = pow(texture(albedoMap, uv).rgb, vec3(2.2));
+    vec4 material = texture(materialMap, uv);
+    float metallic = material.r;
+    float roughness = clamp(material.g, 0.05, 1.0);
+    vec3 f0 = mix(vec3(0.04), albedo, metallic);
+    vec3 lo = vec3(0.0);
+    for (int i = 0; i < NUM_LIGHTS; i++) {
+        vec3 toLight = lightPos[i] - v_pos;
+        vec3 l = normalize(toLight);
+        vec3 h = normalize(v + l);
+        float dist = length(toLight);
+        float attenuation = 1.0 / (dist * dist + 0.01);
+        vec3 radiance = lightColor[i] * attenuation;
+        float ndf = distributionGGX(n, h, roughness);
+        float g = geometrySmith(n, v, l, roughness);
+        vec3 f = fresnelSchlick(max(dot(h, v), 0.0), f0);
+        vec3 kd = (vec3(1.0) - f) * (1.0 - metallic);
+        float ndl = max(dot(n, l), 0.0);
+        float ndv = max(dot(n, v), 0.0);
+        vec3 specular = ndf * g * f / (4.0 * ndv * ndl + 0.001);
+        lo += (kd * albedo / 3.14159265 + specular) * radiance * ndl;
+    }
+    vec3 ambient = albedo * 0.03;
+    vec3 color = ambient + lo;
+#ifdef TONEMAP_ACES
+    color = tonemapACES(color * exposure);
+#else
+    color = color * exposure;
+    color = color / (color + vec3(1.0));
+#endif
+#ifdef GAMMA_OUT
+    color = pow(color, vec3(1.0 / 2.2));
+#endif
+    fragColor = vec4(color, 1.0);
+}
+"""
+
+_NORMAL_MAP = """\
+out vec4 fragColor;
+in vec3 v_normal;
+in vec3 v_tangent;
+in vec3 v_pos;
+in vec2 uv;
+uniform sampler2D albedo;
+uniform sampler2D normalMap;
+uniform mat4 u_model;
+uniform vec3 lightDir;
+uniform vec3 lightTint;
+
+void main()
+{
+    vec3 n0 = normalize(v_normal);
+    vec3 t0 = normalize(v_tangent);
+    vec3 b0 = cross(n0, t0);
+    vec3 sampled = texture(normalMap, uv).rgb * 2.0 - vec3(1.0);
+    mat3 tbn = mat3(t0, b0, n0);
+    vec3 n = normalize(tbn * sampled);
+#ifdef WORLD_SPACE
+    vec4 world = u_model * vec4(n, 0.0);
+    n = normalize(world.xyz);
+#endif
+    float ndl = max(dot(n, normalize(lightDir)), 0.0);
+    vec3 base = texture(albedo, uv).rgb;
+    vec3 lit = base * ndl * lightTint + base * 0.15;
+    fragColor = vec4(lit, 1.0);
+}
+"""
+
+_WATER = """\
+out vec4 fragColor;
+in vec2 uv;
+in vec3 v_pos;
+uniform sampler2D normalA;
+uniform sampler2D normalB;
+uniform sampler2D reflection;
+uniform float u_time;
+uniform vec3 deepColor;
+uniform vec3 viewPos;
+
+void main()
+{
+    vec2 scrollA = uv * 4.0 + vec2(u_time * 0.03, u_time * 0.01);
+    vec2 scrollB = uv * 2.0 - vec2(u_time * 0.02, u_time * 0.04);
+    vec3 nA = texture(normalA, scrollA).rgb * 2.0 - vec3(1.0);
+    vec3 nB = texture(normalB, scrollB).rgb * 2.0 - vec3(1.0);
+    vec3 n = normalize(nA + nB);
+    vec3 view = normalize(viewPos - v_pos);
+    float facing = max(dot(view, vec3(0.0, 1.0, 0.0)), 0.0);
+    float p = 1.0 - facing;
+    float fres = 0.02 + 0.98 * p * p * p * p * p;
+    vec2 distorted = uv + n.xz * 0.05;
+    vec3 refl = texture(reflection, distorted).rgb;
+#ifdef DEEP_FADE
+    float depthMix = clamp(v_pos.y * 0.25 + 0.5, 0.0, 1.0);
+    vec3 water = mix(deepColor, deepColor * 0.4, depthMix);
+#else
+    vec3 water = deepColor;
+#endif
+    vec3 color = mix(water, refl, fres);
+    fragColor = vec4(color, 1.0);
+}
+"""
+
+_TERRAIN_LOD = """\
+out vec4 fragColor;
+in vec2 uv;
+in float v_depth;
+uniform sampler2D baseMap;
+uniform sampler2D detailA;
+uniform sampler2D detailB;
+uniform sampler2D detailC;
+uniform float lodCutoff;
+
+void main()
+{
+    vec3 base = texture(baseMap, uv).rgb;
+#ifdef DETAIL_BRANCH
+    if (v_depth < lodCutoff * 0.5) {
+        vec3 dA = texture(detailA, uv * 16.0).rgb;
+        vec3 dB = texture(detailB, uv * 31.0).rgb;
+        vec3 dC = texture(detailC, uv * 64.0).rgb;
+        vec3 detail = dA * 0.5 + dB * 0.3 + dC * 0.2;
+        base = base * (detail + vec3(0.5));
+    } else {
+        base = base * 1.0;
+    }
+#endif
+    vec3 macro = texture(baseMap, uv * 0.25).rgb;
+    base = mix(base, base * macro * 2.0, 0.35);
+    float slope = clamp(dot(normalize(vec3(uv, 1.0)), vec3(0.0, 0.0, 1.0)), 0.0, 1.0);
+    vec3 tinted = base * (0.4 + 0.6 * slope);
+    float fog = exp(-v_depth * 1.5);
+    vec3 fogged = mix(vec3(0.6, 0.7, 0.8), tinted, clamp(fog, 0.0, 1.0));
+    float fade = clamp(1.0 - v_depth, 0.0, 1.0);
+    fragColor = vec4(fogged * fade, 1.0);
+}
+"""
+
+LIGHTING_FAMILIES = {
+    "terrain_lod": Family("terrain_lod", _TERRAIN_LOD, [
+        Variant("flat", {}),
+        Variant("detail", {"DETAIL_BRANCH": ""}),
+    ]),
+    "phong": Family("phong", _PHONG, [
+        Variant("l1", {"NUM_LIGHTS": "1"}),
+        Variant("l2", {"NUM_LIGHTS": "2", "LEGACY_AMBIENT": ""}),
+        Variant("l4", {"NUM_LIGHTS": "4"}),
+        Variant("l2_spec", {"NUM_LIGHTS": "2", "SPECULAR": ""}),
+        Variant("l4_spec_att",
+                {"NUM_LIGHTS": "4", "SPECULAR": "", "ATTENUATION": ""}),
+    ]),
+    "pbr": Family("pbr", _PBR, [
+        Variant("l1", {"NUM_LIGHTS": "1"}),
+        Variant("l2_aces", {"NUM_LIGHTS": "2", "TONEMAP_ACES": ""}),
+        Variant("l4_aces_gamma",
+                {"NUM_LIGHTS": "4", "TONEMAP_ACES": "", "GAMMA_OUT": ""}),
+        Variant("l2_gamma", {"NUM_LIGHTS": "2", "GAMMA_OUT": ""}),
+    ]),
+    "normal_map": Family("normal_map", _NORMAL_MAP, [
+        Variant("tangent", {}),
+        Variant("world", {"WORLD_SPACE": ""}),
+    ]),
+    "water": Family("water", _WATER, [
+        Variant("base", {}),
+        Variant("deep", {"DEEP_FADE": ""}),
+    ]),
+}

@@ -1,0 +1,219 @@
+"""Post-processing families: blur kernels, bloom, tonemapping, SSAO, shadow
+filtering, colour grading.
+
+The blur family generalises the paper's motivating example (Listing 1);
+the shadow family contributes nested constant loops (PCF); colour grading
+contributes branch diamonds for the Hoist pass.
+"""
+
+from repro.corpus.ubershader import Family, Variant
+
+_BLUR = """\
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D tex;
+uniform vec4 ambient;
+
+void main()
+{
+#if TAPS == 9
+    const vec4[] weights = vec4[](
+        vec4(0.01), vec4(0.15), vec4(0.42), vec4(0.63), vec4(1.83),
+        vec4(0.63), vec4(0.42), vec4(0.15), vec4(0.01));
+    const vec2[] offsets = vec2[](
+        vec2(-0.0083), vec2(-0.0062), vec2(-0.0041), vec2(-0.0021),
+        vec2(0.0), vec2(0.0021), vec2(0.0041), vec2(0.0062), vec2(0.0083));
+#elif TAPS == 5
+    const vec4[] weights = vec4[](
+        vec4(0.12), vec4(0.5), vec4(1.0), vec4(0.5), vec4(0.12));
+    const vec2[] offsets = vec2[](
+        vec2(-0.004), vec2(-0.002), vec2(0.0), vec2(0.002), vec2(0.004));
+#else
+    const vec4[] weights = vec4[](vec4(0.5), vec4(1.0), vec4(0.5));
+    const vec2[] offsets = vec2[](vec2(-0.002), vec2(0.0), vec2(0.002));
+#endif
+    float weightTotal = 0.0;
+    fragColor = vec4(0.0);
+    for (int i = 0; i < TAPS; i++) {
+        weightTotal += weights[i][0];
+        fragColor += weights[i] * texture(tex, uv + offsets[i]) * 3.0 * ambient;
+    }
+    fragColor /= weightTotal;
+}
+"""
+
+_BLOOM = """\
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D scene;
+uniform sampler2D blurred;
+uniform float threshold;
+uniform float intensity;
+
+void main()
+{
+    vec3 base = texture(scene, uv).rgb;
+    vec3 glow = texture(blurred, uv).rgb;
+#ifdef THRESHOLDED
+    float luma = dot(glow, vec3(0.2126, 0.7152, 0.0722));
+    float keep = step(threshold, luma);
+    glow = glow * keep;
+#endif
+#ifdef ADDITIVE
+    vec3 color = base + glow * intensity;
+#else
+    vec3 color = mix(base, glow, intensity * 0.5);
+#endif
+    fragColor = vec4(color, 1.0);
+}
+"""
+
+_TONEMAP = """\
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D hdr;
+uniform float exposure;
+
+void main()
+{
+    vec3 color = texture(hdr, uv).rgb * exposure;
+#ifdef FILMIC
+    vec3 x = max(color - vec3(0.004), vec3(0.0));
+    vec3 num = x * (6.2 * x + vec3(0.5));
+    vec3 den = x * (6.2 * x + vec3(1.7)) + vec3(0.06);
+    color = num / den;
+#else
+    color = color / (color + vec3(1.0));
+#endif
+#ifdef GAMMA
+    color = pow(color, vec3(1.0) / 2.2);
+#endif
+#ifdef DITHER
+    float noise = fract(sin(dot(uv, vec2(12.9898, 78.233))) * 43758.5453);
+    color = color + vec3(noise / 255.0);
+#endif
+    fragColor = vec4(color, 1.0);
+}
+"""
+
+_SSAO = """\
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D depthTex;
+uniform float radius;
+uniform float bias;
+
+void main()
+{
+    const vec2[] kernel = vec2[](
+        vec2(0.7, 0.2), vec2(-0.4, 0.6), vec2(0.1, -0.8), vec2(-0.6, -0.3),
+        vec2(0.3, 0.5), vec2(-0.2, -0.6), vec2(0.8, -0.1), vec2(-0.7, 0.4));
+    float center = texture(depthTex, uv).r;
+    float occlusion = 0.0;
+    for (int i = 0; i < SAMPLES; i++) {
+        vec2 offset = kernel[i] * radius;
+        float sampleDepth = texture(depthTex, uv + offset).r;
+        float rangeCheck = smoothstep(0.0, 1.0, radius / (abs(center - sampleDepth) + 0.0001));
+        if (sampleDepth < center - bias) {
+            occlusion += rangeCheck;
+        }
+    }
+    float ao = 1.0 - occlusion / float(SAMPLES);
+    fragColor = vec4(ao, ao, ao, 1.0);
+}
+"""
+
+_SHADOW = """\
+out vec4 fragColor;
+in vec2 uv;
+in vec3 v_shadowCoord;
+uniform sampler2D albedo;
+uniform sampler2DShadow shadowMap;
+uniform float texelSize;
+uniform vec3 lightTint;
+
+void main()
+{
+    vec3 base = texture(albedo, uv).rgb;
+#ifdef PCF
+    float lit = 0.0;
+    for (int x = 0; x < PCF_SIZE; x++) {
+        for (int y = 0; y < PCF_SIZE; y++) {
+            float ox = (float(x) - float(PCF_SIZE) * 0.5) * texelSize;
+            float oy = (float(y) - float(PCF_SIZE) * 0.5) * texelSize;
+            vec3 coord = v_shadowCoord + vec3(ox, oy, 0.0);
+            lit += texture(shadowMap, coord);
+        }
+    }
+    lit = lit / (float(PCF_SIZE) * float(PCF_SIZE));
+#else
+    float lit = texture(shadowMap, v_shadowCoord);
+#endif
+    vec3 shaded = base * (0.2 + 0.8 * lit) * lightTint;
+    fragColor = vec4(shaded, 1.0);
+}
+"""
+
+_COLOR_GRADE = """\
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D tex;
+uniform float saturation;
+uniform float contrast;
+uniform vec3 liftColor;
+uniform vec3 gainColor;
+
+void main()
+{
+    vec3 color = texture(tex, uv).rgb;
+    float luma = dot(color, vec3(0.2126, 0.7152, 0.0722));
+#ifdef SATURATE
+    color = mix(vec3(luma), color, saturation);
+#endif
+#ifdef CONTRAST
+    color = (color - vec3(0.5)) * contrast + vec3(0.5);
+#endif
+#ifdef LIFT_GAIN
+    if (luma < 0.5) {
+        color = color + liftColor * (0.5 - luma);
+    } else {
+        color = color * (gainColor * (luma - 0.5) + vec3(1.0));
+    }
+#endif
+    color = clamp(color, vec3(0.0), vec3(1.0));
+    fragColor = vec4(color, 1.0);
+}
+"""
+
+POST_FAMILIES = {
+    "blur": Family("blur", _BLUR, [
+        Variant("taps3", {"TAPS": "3"}),
+        Variant("taps5", {"TAPS": "5"}),
+        Variant("taps9", {"TAPS": "9"}),
+    ]),
+    "bloom": Family("bloom", _BLOOM, [
+        Variant("mixed", {}),
+        Variant("additive", {"ADDITIVE": ""}),
+        Variant("thresh", {"ADDITIVE": "", "THRESHOLDED": ""}),
+    ]),
+    "tonemap": Family("tonemap", _TONEMAP, [
+        Variant("reinhard", {}),
+        Variant("filmic", {"FILMIC": ""}),
+        Variant("filmic_gamma", {"FILMIC": "", "GAMMA": ""}),
+        Variant("dither", {"GAMMA": "", "DITHER": ""}),
+    ]),
+    "ssao": Family("ssao", _SSAO, [
+        Variant("s4", {"SAMPLES": "4"}),
+        Variant("s8", {"SAMPLES": "8"}),
+    ]),
+    "shadow": Family("shadow", _SHADOW, [
+        Variant("hard", {}),
+        Variant("pcf2", {"PCF": "", "PCF_SIZE": "2"}),
+        Variant("pcf3", {"PCF": "", "PCF_SIZE": "3"}),
+    ]),
+    "color_grade": Family("color_grade", _COLOR_GRADE, [
+        Variant("sat", {"SATURATE": ""}),
+        Variant("sat_con", {"SATURATE": "", "CONTRAST": ""}),
+        Variant("full", {"SATURATE": "", "CONTRAST": "", "LIFT_GAIN": ""}),
+    ]),
+}

@@ -1,0 +1,192 @@
+"""Small shader families: sprites, particles, sky, fog, depth utilities.
+
+These provide the long low-complexity tail of the Fig. 4a distribution —
+"numerous simpler shaders (many containing only a few lines)" where most
+optimization flags do not apply.
+"""
+
+from repro.corpus.ubershader import Family, Variant
+
+_SPRITE = """\
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D tex;
+uniform vec4 tint;
+
+void main()
+{
+    vec4 base = texture(tex, uv);
+#ifdef TINTED
+    base = base * tint;
+#endif
+#ifdef ALPHA_TEST
+    if (base.a < 0.5) {
+        discard;
+    }
+#endif
+    fragColor = base;
+}
+"""
+
+_PARTICLE = """\
+out vec4 fragColor;
+in vec2 uv;
+in vec4 v_color;
+uniform sampler2D tex;
+uniform float u_fade;
+
+void main()
+{
+    vec4 base = texture(tex, uv);
+    vec4 shaded = base * v_color;
+#ifdef SOFT_FADE
+    float fade = clamp(u_fade * 2.0 + 0.0, 0.0, 1.0);
+    shaded = shaded * fade;
+#endif
+#ifdef PREMULTIPLY
+    vec3 rgb = shaded.rgb * shaded.a;
+    fragColor = vec4(rgb.x, rgb.y, rgb.z, shaded.a);
+#else
+    fragColor = shaded;
+#endif
+}
+"""
+
+_SKYBOX = """\
+out vec4 fragColor;
+in vec3 v_dir;
+uniform samplerCube sky;
+uniform vec4 horizonColor;
+uniform float u_blend;
+
+void main()
+{
+    vec3 dir = normalize(v_dir);
+    vec4 sky0 = texture(sky, dir);
+#ifdef HORIZON_BLEND
+    float h = clamp(1.0 - abs(dir.y) * 4.0, 0.0, 1.0);
+    fragColor = mix(sky0, horizonColor, h * u_blend);
+#else
+    fragColor = sky0;
+#endif
+}
+"""
+
+_FOG = """\
+out vec4 fragColor;
+in vec2 uv;
+in float v_depth;
+uniform sampler2D tex;
+uniform vec4 fogColor;
+uniform float fogDensity;
+
+void main()
+{
+    vec4 base = texture(tex, uv);
+#ifdef EXP2_FOG
+    float d = v_depth * fogDensity;
+    float f = exp(-d * d);
+#else
+    float f = exp(-v_depth * fogDensity);
+#endif
+    f = clamp(f, 0.0, 1.0);
+#ifdef HEIGHT_CUTOFF
+    if (v_depth > 0.9) {
+        f = 0.0;
+    } else {
+        f = f * 1.0;
+    }
+#endif
+    fragColor = mix(fogColor, base, f);
+}
+"""
+
+_DEPTH_PACK = """\
+out vec4 fragColor;
+in float v_depth;
+
+void main()
+{
+    float d = clamp(v_depth, 0.0, 1.0);
+    float r = fract(d * 255.0);
+    float g = fract(d * 255.0 * 255.0);
+    float b = fract(d * 255.0 * 255.0 * 255.0);
+#ifdef HIGH_PRECISION
+    float bias_r = r / 255.0;
+    float bias_g = g / 255.0;
+    fragColor = vec4(d - bias_r, r - bias_g, g - b / 255.0, b);
+#else
+    fragColor = vec4(d, r, g, b);
+#endif
+}
+"""
+
+_VIGNETTE = """\
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D tex;
+uniform float strength;
+
+void main()
+{
+    vec4 base = texture(tex, uv);
+    vec2 center = uv - vec2(0.5);
+    float dist = length(center) * 2.0;
+#ifdef SMOOTH_EDGE
+    float v = 1.0 - smoothstep(0.4, 1.2, dist) * strength;
+#else
+    float v = 1.0 - clamp(dist - 0.4, 0.0, 1.0) * strength;
+#endif
+    vec3 shaded = base.rgb * v;
+    fragColor = vec4(shaded, base.a);
+}
+"""
+
+_FLAT_COLOR = """\
+out vec4 fragColor;
+uniform vec4 u_color;
+
+void main()
+{
+#ifdef GAMMA
+    vec3 linear_rgb = pow(u_color.rgb, vec3(2.2));
+    fragColor = vec4(linear_rgb, u_color.a);
+#else
+    fragColor = u_color;
+#endif
+}
+"""
+
+SIMPLE_FAMILIES = {
+    "sprite": Family("sprite", _SPRITE, [
+        Variant("base", {}),
+        Variant("tinted", {"TINTED": ""}),
+        Variant("cutout", {"TINTED": "", "ALPHA_TEST": ""}),
+    ]),
+    "particle": Family("particle", _PARTICLE, [
+        Variant("base", {}),
+        Variant("soft", {"SOFT_FADE": ""}),
+        Variant("premul", {"SOFT_FADE": "", "PREMULTIPLY": ""}),
+    ]),
+    "skybox": Family("skybox", _SKYBOX, [
+        Variant("base", {}),
+        Variant("horizon", {"HORIZON_BLEND": ""}),
+    ]),
+    "fog": Family("fog", _FOG, [
+        Variant("exp", {}),
+        Variant("exp2", {"EXP2_FOG": ""}),
+        Variant("cutoff", {"EXP2_FOG": "", "HEIGHT_CUTOFF": ""}),
+    ]),
+    "depth_pack": Family("depth_pack", _DEPTH_PACK, [
+        Variant("base", {}),
+        Variant("hiprec", {"HIGH_PRECISION": ""}),
+    ]),
+    "vignette": Family("vignette", _VIGNETTE, [
+        Variant("base", {}),
+        Variant("smooth", {"SMOOTH_EDGE": ""}),
+    ]),
+    "flat": Family("flat", _FLAT_COLOR, [
+        Variant("base", {}),
+        Variant("gamma", {"GAMMA": ""}),
+    ]),
+}

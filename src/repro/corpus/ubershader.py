@@ -1,0 +1,43 @@
+"""Übershader machinery: a family = one template body + named #define sets.
+
+Paper Section IV-A: "a single file containing numerous graphics techniques
+is customised via preprocessor directives to enable or disable sections when
+generating shader instances ... forming families of similar shaders".
+Instances carry their defines as a real ``#define`` block so the corpus
+sources look like the extracted GFXBench ones and the LoC-after-preprocess
+metric is exercised for real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.harness.results import ShaderCase
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One specialisation of a family (a named set of #defines)."""
+
+    name: str
+    defines: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Family:
+    name: str
+    template: str
+    variants: List[Variant] = field(default_factory=list)
+
+    def instantiate(self, variant: Variant) -> ShaderCase:
+        define_block = "".join(
+            f"#define {key} {value}".rstrip() + "\n"
+            for key, value in sorted(variant.defines.items())
+        )
+        source = "#version 450\n" + define_block + self.template
+        return ShaderCase(name=f"{self.name}.{variant.name}",
+                          family=self.name, source=source)
+
+    def instances(self) -> List[ShaderCase]:
+        return [self.instantiate(variant) for variant in self.variants]

@@ -1,0 +1,28 @@
+"""GLSL frontend: lexer, preprocessor, parser, AST, type system, printer.
+
+The public surface of this package mirrors the pipeline order:
+
+- :func:`repro.glsl.preprocessor.preprocess` — run `#define` / conditional
+  directives and macro expansion over raw shader text.
+- :func:`repro.glsl.lexer.tokenize` — turn preprocessed text into tokens.
+- :func:`repro.glsl.parser.parse_shader` — build a typed AST.
+- :func:`repro.glsl.printer.print_shader` — render an AST back to GLSL.
+- :func:`repro.glsl.introspect.shader_interface` — enumerate uniforms/ins/outs.
+- :func:`repro.glsl.metrics.lines_of_code` — the paper's Fig. 4a LoC metric.
+"""
+
+from repro.glsl.lexer import tokenize
+from repro.glsl.preprocessor import preprocess
+from repro.glsl.parser import parse_shader
+from repro.glsl.printer import print_shader
+from repro.glsl.introspect import shader_interface
+from repro.glsl.metrics import lines_of_code
+
+__all__ = [
+    "tokenize",
+    "preprocess",
+    "parse_shader",
+    "print_shader",
+    "shader_interface",
+    "lines_of_code",
+]

@@ -1,0 +1,243 @@
+"""Typed AST node definitions for the GLSL subset.
+
+Nodes are plain dataclasses.  Expression nodes gain a ``ty`` attribute during
+parsing (the parser performs type inference so lowering never guesses), and
+every node records the 1-based source ``line`` for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.glsl.types import GLSLType
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base expression; ``ty`` is filled in by the parser's type inference."""
+
+    line: int = 0
+    ty: Optional[GLSLType] = None
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool = False
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Optional[Expr] = None
+    postfix: bool = False  # i++ / i--
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Optional[Expr] = None
+    then: Optional[Expr] = None
+    otherwise: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    """Builtin call, user function call, or type constructor (vec3(...))."""
+
+    callee: str = ""
+    args: List[Expr] = field(default_factory=list)
+    is_constructor: bool = False
+
+
+@dataclass
+class ArrayLiteral(Expr):
+    """``vec2[](e0, e1, ...)`` — sized by its element list."""
+
+    element_type: Optional[GLSLType] = None
+    elements: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Member(Expr):
+    """Swizzle access such as ``v.xyz`` (struct members are unsupported)."""
+
+    base: Optional[Expr] = None
+    name: str = ""
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Declarator:
+    """One declared name within a declaration statement."""
+
+    name: str
+    ty: GLSLType
+    init: Optional[Expr] = None
+
+
+@dataclass
+class DeclStmt(Stmt):
+    declarators: List[Declarator] = field(default_factory=list)
+    is_const: bool = False
+
+
+@dataclass
+class AssignStmt(Stmt):
+    target: Optional[Expr] = None  # Ident / Index / Member chains
+    op: str = "="  # =, +=, -=, *=, /=
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class BlockStmt(Stmt):
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Optional[Expr] = None
+    then_body: Optional[BlockStmt] = None
+    else_body: Optional[BlockStmt] = None
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: Optional[BlockStmt] = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[BlockStmt] = None
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class DiscardStmt(Stmt):
+    pass
+
+
+# --------------------------------------------------------------------------
+# Top level
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class GlobalDecl:
+    """A module-scope declaration (uniform / in / out / const global)."""
+
+    qualifier: Optional[str]  # "uniform" | "in" | "out" | "const" | None
+    ty: GLSLType
+    name: str
+    init: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class Param:
+    qualifier: str  # "in" | "out" | "inout"
+    ty: GLSLType
+    name: str
+
+
+@dataclass
+class FunctionDef:
+    return_type: GLSLType
+    name: str
+    params: List[Param]
+    body: BlockStmt
+    line: int = 0
+
+
+@dataclass
+class Shader:
+    """A parsed translation unit."""
+
+    version: Optional[str]
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FunctionDef] = field(default_factory=list)
+
+    def function(self, name: str) -> Optional[FunctionDef]:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        return None
+
+    @property
+    def uniforms(self) -> List[GlobalDecl]:
+        return [g for g in self.globals if g.qualifier == "uniform"]
+
+    @property
+    def inputs(self) -> List[GlobalDecl]:
+        return [g for g in self.globals if g.qualifier == "in"]
+
+    @property
+    def outputs(self) -> List[GlobalDecl]:
+        return [g for g in self.globals if g.qualifier == "out"]
+
+
+LValue = (Ident, Index, Member)

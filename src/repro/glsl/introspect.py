@@ -1,0 +1,55 @@
+"""Shader interface introspection.
+
+The harness uses this to auto-generate a matching vertex shader and to
+initialise every uniform to a default value (Section IV-B of the paper: "we
+used shader introspection to ascertain types and sizes for all uniform
+inputs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.glsl import ast
+from repro.glsl import types as T
+
+
+@dataclass(frozen=True)
+class InterfaceVar:
+    """One uniform / input / output slot."""
+
+    name: str
+    ty: T.GLSLType
+
+    @property
+    def is_sampler(self) -> bool:
+        base = self.ty.element if isinstance(self.ty, T.Array) else self.ty
+        return isinstance(base, T.Sampler)
+
+
+@dataclass
+class ShaderInterface:
+    """Uniforms, stage inputs, and stage outputs of a shader."""
+
+    uniforms: List[InterfaceVar] = field(default_factory=list)
+    inputs: List[InterfaceVar] = field(default_factory=list)
+    outputs: List[InterfaceVar] = field(default_factory=list)
+
+    @property
+    def samplers(self) -> List[InterfaceVar]:
+        return [u for u in self.uniforms if u.is_sampler]
+
+
+def shader_interface(shader: ast.Shader) -> ShaderInterface:
+    """Collect the interface of a parsed shader."""
+    interface = ShaderInterface()
+    for decl in shader.globals:
+        var = InterfaceVar(decl.name, decl.ty)
+        if decl.qualifier == "uniform":
+            interface.uniforms.append(var)
+        elif decl.qualifier == "in":
+            interface.inputs.append(var)
+        elif decl.qualifier == "out":
+            interface.outputs.append(var)
+    return interface

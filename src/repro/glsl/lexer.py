@@ -1,0 +1,138 @@
+"""Hand-written lexer for the GLSL subset used throughout the library.
+
+The lexer assumes its input has already been preprocessed (no ``#`` directives
+remain); :func:`tokenize` raises :class:`~repro.errors.LexerError` if it meets
+one, which usually indicates a caller skipped :func:`repro.glsl.preprocess`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import LexerError
+from repro.glsl.tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPS,
+    SINGLE_CHAR_OPS,
+    TYPE_NAMES,
+    Token,
+    TokenKind,
+)
+
+_IDENT_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize preprocessed GLSL source into a token list ending with EOF."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(message: str) -> LexerError:
+        return LexerError(message, line, col)
+
+    while i < n:
+        ch = source[i]
+
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+
+        # Comments (tolerated even post-preprocess).
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            skipped = source[i : end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+
+        if ch == "#":
+            raise error("preprocessor directive in lexer input; run preprocess() first")
+
+        if ch in _IDENT_START:
+            start = i
+            while i < n and source[i] in _IDENT_CONT:
+                i += 1
+            text = source[start:i]
+            if text in ("true", "false"):
+                kind = TokenKind.BOOL
+            elif text in TYPE_NAMES:
+                kind = TokenKind.TYPE
+            elif text in KEYWORDS:
+                kind = TokenKind.KEYWORD
+            else:
+                kind = TokenKind.IDENT
+            tokens.append(Token(kind, text, line, col))
+            col += i - start
+            continue
+
+        if ch in _DIGITS or (ch == "." and i + 1 < n and source[i + 1] in _DIGITS):
+            start = i
+            is_float = False
+            while i < n and source[i] in _DIGITS:
+                i += 1
+            if i < n and source[i] == ".":
+                is_float = True
+                i += 1
+                while i < n and source[i] in _DIGITS:
+                    i += 1
+            if i < n and source[i] in "eE":
+                j = i + 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                if j < n and source[j] in _DIGITS:
+                    is_float = True
+                    i = j
+                    while i < n and source[i] in _DIGITS:
+                        i += 1
+            if i < n and source[i] in "fF" and is_float:
+                i += 1
+            elif i < n and source[i] in "uU" and not is_float:
+                i += 1
+            text = source[start:i]
+            kind = TokenKind.FLOAT if is_float else TokenKind.INT
+            tokens.append(Token(kind, text, line, col))
+            col += i - start
+            continue
+
+        matched = False
+        for op in MULTI_CHAR_OPS:
+            if source.startswith(op, i):
+                tokens.append(Token(TokenKind.OP, op, line, col))
+                i += len(op)
+                col += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+
+        if ch in SINGLE_CHAR_OPS:
+            tokens.append(Token(TokenKind.OP, ch, line, col))
+            i += 1
+            col += 1
+            continue
+
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens

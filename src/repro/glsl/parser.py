@@ -1,0 +1,786 @@
+"""Recursive-descent parser for the GLSL subset, with type inference.
+
+The parser produces a :class:`repro.glsl.ast.Shader` whose expression nodes
+all carry a resolved ``ty``.  Doing inference here keeps the IR lowering free
+of guessing: it can rely on ``expr.ty`` everywhere.
+
+Supported surface (the subset real GFXBench-style fragment shaders use):
+global ``uniform`` / ``in`` / ``out`` / ``const`` declarations, user function
+definitions, ``if``/``else``, ``for``, ``while``, ``return``, ``discard``,
+``break``, ``continue``, compound assignment, swizzles, constructors, sized
+and unsized arrays with initializers, and the builtin library in
+:mod:`repro.glsl.builtins`.  Structs and ``do``/``while`` are rejected with a
+clear error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ParseError, TypeError_
+from repro.glsl import ast
+from repro.glsl import types as T
+from repro.glsl.builtins import is_builtin, resolve_builtin
+from repro.glsl.lexer import tokenize
+from repro.glsl.tokens import Token, TokenKind
+
+_ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=")
+
+#: Binary operator precedence, higher binds tighter.
+_BIN_PREC = {
+    "||": 1,
+    "^^": 2,
+    "&&": 3,
+    "==": 4,
+    "!=": 4,
+    "<": 5,
+    ">": 5,
+    "<=": 5,
+    ">=": 5,
+    "+": 6,
+    "-": 6,
+    "*": 7,
+    "/": 7,
+    "%": 7,
+}
+
+_SWIZZLE_SETS = ("xyzw", "rgba", "stpq")
+
+
+def parse_shader(source: str) -> ast.Shader:
+    """Parse preprocessed GLSL *source* into a typed AST."""
+    return _Parser(source).parse()
+
+
+class _Scope:
+    """A lexical scope mapping names to GLSL types."""
+
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.names: Dict[str, T.GLSLType] = {}
+
+    def lookup(self, name: str) -> Optional[T.GLSLType]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+    def declare(self, name: str, ty: T.GLSLType) -> None:
+        self.names[name] = ty
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.globals_scope = _Scope()
+        self.scope = self.globals_scope
+        self.functions: Dict[str, Tuple[T.GLSLType, List[ast.Param]]] = {}
+        self.current_return_type: Optional[T.GLSLType] = None
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def check(self, text: str) -> bool:
+        return self.peek().text == text and self.peek().kind is not TokenKind.EOF
+
+    def accept(self, text: str) -> bool:
+        if self.check(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        tok = self.peek()
+        if tok.text != text or tok.kind is TokenKind.EOF:
+            raise ParseError(f"expected {text!r}, found {tok.text!r}", tok.line, tok.col)
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        tok = self.peek()
+        if tok.kind is not TokenKind.IDENT:
+            raise ParseError(f"expected identifier, found {tok.text!r}", tok.line, tok.col)
+        return self.advance()
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def parse(self) -> ast.Shader:
+        shader = ast.Shader(version=None)
+        while self.peek().kind is not TokenKind.EOF:
+            tok = self.peek()
+            if tok.text == "precision":
+                self._skip_until(";")
+                continue
+            if tok.text == "layout":
+                self._skip_layout()
+                tok = self.peek()
+            if tok.text == "struct":
+                raise ParseError("struct declarations are not supported by this subset",
+                                 tok.line, tok.col)
+            if tok.text in ("uniform", "in", "out", "attribute", "varying", "flat"):
+                shader.globals.extend(self._global_decl())
+                continue
+            if tok.text == "const":
+                shader.globals.extend(self._global_decl())
+                continue
+            if tok.kind is TokenKind.TYPE or tok.text == "void":
+                if self._looks_like_function():
+                    shader.functions.append(self._function_def())
+                else:
+                    shader.globals.extend(self._global_decl())
+                continue
+            raise ParseError(f"unexpected token {tok.text!r} at top level", tok.line, tok.col)
+        return shader
+
+    def _skip_until(self, text: str) -> None:
+        while not self.check(text) and self.peek().kind is not TokenKind.EOF:
+            self.advance()
+        self.accept(text)
+
+    def _skip_layout(self) -> None:
+        self.expect("layout")
+        self.expect("(")
+        depth = 1
+        while depth and self.peek().kind is not TokenKind.EOF:
+            tok = self.advance()
+            if tok.text == "(":
+                depth += 1
+            elif tok.text == ")":
+                depth -= 1
+
+    def _looks_like_function(self) -> bool:
+        """TYPE IDENT ( ...  at top level means a function definition."""
+        return (
+            self.peek(1).kind is TokenKind.IDENT
+            and self.peek(2).text == "("
+        )
+
+    def _parse_type(self) -> T.GLSLType:
+        tok = self.peek()
+        if tok.text == "void":
+            self.advance()
+            return T.VOID
+        if tok.kind is not TokenKind.TYPE:
+            raise ParseError(f"expected type name, found {tok.text!r}", tok.line, tok.col)
+        self.advance()
+        base = T.type_from_name(tok.text)
+        if self.accept("["):
+            if self.check("]"):
+                self.advance()
+                return T.Array(base, None)
+            size = self._const_int()
+            self.expect("]")
+            return T.Array(base, size)
+        return base
+
+    def _const_int(self) -> int:
+        tok = self.peek()
+        if tok.kind is not TokenKind.INT:
+            raise ParseError("expected integer constant", tok.line, tok.col)
+        self.advance()
+        return int(tok.text.rstrip("uU"))
+
+    def _global_decl(self) -> List[ast.GlobalDecl]:
+        line = self.peek().line
+        qualifier: Optional[str] = None
+        while self.peek().text in ("flat", "highp", "mediump", "lowp"):
+            self.advance()
+        if self.peek().text in ("uniform", "in", "out", "const", "attribute", "varying"):
+            qualifier = self.advance().text
+            if qualifier == "attribute":
+                qualifier = "in"
+            elif qualifier == "varying":
+                qualifier = "in"
+        while self.peek().text in ("highp", "mediump", "lowp"):
+            self.advance()
+        ty = self._parse_type()
+        decls: List[ast.GlobalDecl] = []
+        while True:
+            name_tok = self.expect_ident()
+            this_ty = ty
+            if self.accept("["):
+                if self.check("]"):
+                    self.advance()
+                    this_ty = T.Array(ty, None)
+                else:
+                    size = self._const_int()
+                    self.expect("]")
+                    this_ty = T.Array(ty, size)
+            init: Optional[ast.Expr] = None
+            if self.accept("="):
+                init = self._expression()
+                if isinstance(this_ty, T.Array) and this_ty.length is None:
+                    if isinstance(init, ast.ArrayLiteral):
+                        this_ty = T.Array(this_ty.element, len(init.elements))
+            self.globals_scope.declare(name_tok.text, this_ty)
+            decls.append(
+                ast.GlobalDecl(qualifier=qualifier, ty=this_ty, name=name_tok.text,
+                               init=init, line=line)
+            )
+            if not self.accept(","):
+                break
+        self.expect(";")
+        return decls
+
+    def _function_def(self) -> ast.FunctionDef:
+        line = self.peek().line
+        return_type = self._parse_type()
+        name = self.expect_ident().text
+        self.expect("(")
+        params: List[ast.Param] = []
+        if not self.check(")"):
+            while True:
+                qual = "in"
+                if self.peek().text in ("in", "out", "inout"):
+                    qual = self.advance().text
+                while self.peek().text in ("highp", "mediump", "lowp", "const"):
+                    self.advance()
+                if self.check("void") and self.peek(1).text == ")":
+                    self.advance()
+                    break
+                pty = self._parse_type()
+                pname = self.expect_ident().text
+                if self.accept("["):
+                    size = self._const_int()
+                    self.expect("]")
+                    pty = T.Array(pty, size)
+                params.append(ast.Param(qualifier=qual, ty=pty, name=pname))
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        self.functions[name] = (return_type, params)
+        outer = self.scope
+        self.scope = _Scope(self.globals_scope)
+        for param in params:
+            self.scope.declare(param.name, param.ty)
+        saved_ret = self.current_return_type
+        self.current_return_type = return_type
+        body = self._block()
+        self.current_return_type = saved_ret
+        self.scope = outer
+        return ast.FunctionDef(return_type=return_type, name=name, params=params,
+                               body=body, line=line)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _block(self) -> ast.BlockStmt:
+        line = self.peek().line
+        self.expect("{")
+        outer = self.scope
+        self.scope = _Scope(outer)
+        body: List[ast.Stmt] = []
+        while not self.check("}"):
+            if self.peek().kind is TokenKind.EOF:
+                raise ParseError("unterminated block", line)
+            body.append(self._statement())
+        self.expect("}")
+        self.scope = outer
+        return ast.BlockStmt(line=line, body=body)
+
+    def _statement(self) -> ast.Stmt:
+        tok = self.peek()
+        if tok.text == "{":
+            return self._block()
+        if tok.text == "if":
+            return self._if_stmt()
+        if tok.text == "for":
+            return self._for_stmt()
+        if tok.text == "while":
+            return self._while_stmt()
+        if tok.text == "do":
+            raise ParseError("do/while loops are not supported", tok.line, tok.col)
+        if tok.text == "return":
+            self.advance()
+            value = None if self.check(";") else self._expression()
+            self.expect(";")
+            return ast.ReturnStmt(line=tok.line, value=value)
+        if tok.text == "discard":
+            self.advance()
+            self.expect(";")
+            return ast.DiscardStmt(line=tok.line)
+        if tok.text == "break":
+            self.advance()
+            self.expect(";")
+            return ast.BreakStmt(line=tok.line)
+        if tok.text == "continue":
+            self.advance()
+            self.expect(";")
+            return ast.ContinueStmt(line=tok.line)
+        if self._starts_declaration():
+            stmt = self._decl_stmt()
+            self.expect(";")
+            return stmt
+        stmt = self._expr_or_assign_stmt()
+        self.expect(";")
+        return stmt
+
+    def _starts_declaration(self) -> bool:
+        tok = self.peek()
+        if tok.text == "const":
+            return True
+        if tok.text in ("highp", "mediump", "lowp"):
+            return self.peek(1).kind is TokenKind.TYPE
+        if tok.kind is TokenKind.TYPE:
+            # Distinguish `vec3 v = ...;` from constructor `vec3(...)` and
+            # array literal `vec3[](...)`.
+            nxt = self.peek(1)
+            if nxt.kind is TokenKind.IDENT:
+                return True
+            if nxt.text == "[":
+                # `vec2[] name` (declaration) vs `vec2[](…)` (array literal)
+                j = 2
+                if self.peek(2).kind is TokenKind.INT:
+                    j = 3
+                if self.peek(j).text == "]":
+                    return self.peek(j + 1).kind is TokenKind.IDENT
+            return False
+        return False
+
+    def _decl_stmt(self) -> ast.DeclStmt:
+        line = self.peek().line
+        is_const = self.accept("const")
+        while self.peek().text in ("highp", "mediump", "lowp"):
+            self.advance()
+        base_ty = self._parse_type()
+        declarators: List[ast.Declarator] = []
+        while True:
+            name = self.expect_ident().text
+            this_ty = base_ty
+            if self.accept("["):
+                if self.check("]"):
+                    self.advance()
+                    this_ty = T.Array(base_ty, None)
+                else:
+                    size = self._const_int()
+                    self.expect("]")
+                    this_ty = T.Array(base_ty, size)
+            init: Optional[ast.Expr] = None
+            if self.accept("="):
+                init = self._expression()
+                if isinstance(this_ty, T.Array) and this_ty.length is None:
+                    if isinstance(init, ast.ArrayLiteral):
+                        this_ty = T.Array(this_ty.element, len(init.elements))
+                init = self._coerce(init, this_ty)
+            self.scope.declare(name, this_ty)
+            declarators.append(ast.Declarator(name=name, ty=this_ty, init=init))
+            if not self.accept(","):
+                break
+        return ast.DeclStmt(line=line, declarators=declarators, is_const=is_const)
+
+    def _expr_or_assign_stmt(self) -> ast.Stmt:
+        line = self.peek().line
+        expr = self._expression()
+        tok = self.peek()
+        if tok.text in _ASSIGN_OPS:
+            if not isinstance(expr, ast.LValue):
+                raise ParseError("invalid assignment target", tok.line, tok.col)
+            op = self.advance().text
+            value = self._expression()
+            if op == "=" and expr.ty is not None:
+                value = self._coerce(value, expr.ty)
+            return ast.AssignStmt(line=line, target=expr, op=op, value=value)
+        return ast.ExprStmt(line=line, expr=expr)
+
+    def _if_stmt(self) -> ast.IfStmt:
+        line = self.peek().line
+        self.expect("if")
+        self.expect("(")
+        cond = self._expression()
+        self.expect(")")
+        then_body = self._stmt_as_block()
+        else_body: Optional[ast.BlockStmt] = None
+        if self.accept("else"):
+            else_body = self._stmt_as_block()
+        return ast.IfStmt(line=line, cond=cond, then_body=then_body, else_body=else_body)
+
+    def _stmt_as_block(self) -> ast.BlockStmt:
+        if self.check("{"):
+            return self._block()
+        stmt = self._statement()
+        return ast.BlockStmt(line=stmt.line, body=[stmt])
+
+    def _for_stmt(self) -> ast.ForStmt:
+        line = self.peek().line
+        self.expect("for")
+        self.expect("(")
+        outer = self.scope
+        self.scope = _Scope(outer)
+        init: Optional[ast.Stmt] = None
+        if not self.check(";"):
+            if self._starts_declaration():
+                init = self._decl_stmt()
+            else:
+                init = self._expr_or_assign_stmt()
+        self.expect(";")
+        cond = None if self.check(";") else self._expression()
+        self.expect(";")
+        step = None if self.check(")") else self._expr_or_assign_stmt()
+        self.expect(")")
+        body = self._stmt_as_block()
+        self.scope = outer
+        return ast.ForStmt(line=line, init=init, cond=cond, step=step, body=body)
+
+    def _while_stmt(self) -> ast.WhileStmt:
+        line = self.peek().line
+        self.expect("while")
+        self.expect("(")
+        cond = self._expression()
+        self.expect(")")
+        body = self._stmt_as_block()
+        return ast.WhileStmt(line=line, cond=cond, body=body)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _expression(self) -> ast.Expr:
+        return self._ternary()
+
+    def _ternary(self) -> ast.Expr:
+        cond = self._binary(1)
+        if not self.accept("?"):
+            return cond
+        then = self._expression()
+        self.expect(":")
+        otherwise = self._ternary()
+        then, otherwise = self._unify(then, otherwise)
+        return ast.Ternary(line=cond.line, ty=then.ty, cond=cond, then=then,
+                           otherwise=otherwise)
+
+    def _binary(self, min_prec: int) -> ast.Expr:
+        left = self._unary()
+        while True:
+            op = self.peek().text
+            prec = _BIN_PREC.get(op)
+            if prec is None or prec < min_prec:
+                return left
+            line = self.peek().line
+            self.advance()
+            right = self._binary(prec + 1)
+            ty, left, right = self._binary_type(op, left, right, line)
+            left = ast.Binary(line=line, ty=ty, op=op, left=left, right=right)
+
+    def _unary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.text in ("-", "+", "!"):
+            self.advance()
+            operand = self._unary()
+            if tok.text == "+":
+                return operand
+            ty = operand.ty
+            if tok.text == "!" and ty != T.BOOL:
+                raise ParseError("operator ! requires a bool operand", tok.line, tok.col)
+            return ast.Unary(line=tok.line, ty=ty, op=tok.text, operand=operand)
+        if tok.text in ("++", "--"):
+            self.advance()
+            operand = self._unary()
+            return ast.Unary(line=tok.line, ty=operand.ty, op=tok.text, operand=operand)
+        return self._postfix()
+
+    def _postfix(self) -> ast.Expr:
+        expr = self._primary()
+        while True:
+            tok = self.peek()
+            if tok.text == "[":
+                self.advance()
+                index = self._expression()
+                self.expect("]")
+                expr = ast.Index(line=tok.line, ty=self._index_type(expr, tok),
+                                 base=expr, index=index)
+            elif tok.text == ".":
+                self.advance()
+                name = self.expect_ident().text
+                expr = ast.Member(line=tok.line, ty=self._swizzle_type(expr, name, tok),
+                                  base=expr, name=name)
+            elif tok.text in ("++", "--"):
+                self.advance()
+                expr = ast.Unary(line=tok.line, ty=expr.ty, op=tok.text,
+                                 operand=expr, postfix=True)
+            else:
+                return expr
+
+    def _primary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind is TokenKind.FLOAT:
+            self.advance()
+            return ast.FloatLit(line=tok.line, ty=T.FLOAT,
+                                value=float(tok.text.rstrip("fF")))
+        if tok.kind is TokenKind.INT:
+            self.advance()
+            return ast.IntLit(line=tok.line, ty=T.INT, value=int(tok.text.rstrip("uU")))
+        if tok.kind is TokenKind.BOOL:
+            self.advance()
+            return ast.BoolLit(line=tok.line, ty=T.BOOL, value=tok.text == "true")
+        if tok.text == "(":
+            self.advance()
+            expr = self._expression()
+            self.expect(")")
+            return expr
+        if tok.kind is TokenKind.TYPE:
+            return self._constructor_or_array_literal()
+        if tok.kind is TokenKind.IDENT:
+            if self.peek(1).text == "(":
+                return self._call()
+            self.advance()
+            ty = self.scope.lookup(tok.text)
+            if ty is None:
+                raise ParseError(f"undeclared identifier {tok.text!r}", tok.line, tok.col)
+            return ast.Ident(line=tok.line, ty=ty, name=tok.text)
+        raise ParseError(f"unexpected token {tok.text!r} in expression", tok.line, tok.col)
+
+    def _constructor_or_array_literal(self) -> ast.Expr:
+        tok = self.advance()
+        base = T.type_from_name(tok.text)
+        if self.accept("["):
+            length: Optional[int] = None
+            if not self.check("]"):
+                length = self._const_int()
+            self.expect("]")
+            self.expect("(")
+            elements: List[ast.Expr] = []
+            if not self.check(")"):
+                while True:
+                    elements.append(self._coerce(self._expression(), base))
+                    if not self.accept(","):
+                        break
+            self.expect(")")
+            if length is not None and length != len(elements):
+                raise ParseError(
+                    f"array literal has {len(elements)} elements, expected {length}",
+                    tok.line, tok.col)
+            return ast.ArrayLiteral(line=tok.line, ty=T.Array(base, len(elements)),
+                                    element_type=base, elements=elements)
+        self.expect("(")
+        args: List[ast.Expr] = []
+        if not self.check(")"):
+            while True:
+                args.append(self._expression())
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        self._check_constructor(base, args, tok)
+        return ast.Call(line=tok.line, ty=base, callee=tok.text, args=args,
+                        is_constructor=True)
+
+    def _check_constructor(self, ty: T.GLSLType, args: List[ast.Expr], tok: Token) -> None:
+        if isinstance(ty, T.Sampler):
+            raise ParseError("cannot construct a sampler", tok.line, tok.col)
+        if not args:
+            raise ParseError(f"constructor {ty}() requires arguments", tok.line, tok.col)
+        provided = 0
+        for arg in args:
+            if arg.ty is None or isinstance(arg.ty, (T.Sampler, T.Array, T.Void)):
+                raise ParseError(f"invalid constructor argument for {ty}", tok.line, tok.col)
+            provided += T.component_count(arg.ty)
+        needed = T.component_count(ty)
+        if isinstance(ty, T.Scalar):
+            return  # scalar cast takes the first component
+        if isinstance(ty, T.Matrix) and len(args) == 1 and isinstance(args[0].ty, T.Scalar):
+            return  # diagonal constructor mat4(1.0)
+        if isinstance(ty, T.Matrix) and len(args) == 1 and isinstance(args[0].ty, T.Matrix):
+            return  # matrix from matrix
+        if provided == 1:
+            return  # splat constructor vec4(0.0)
+        if provided < needed:
+            raise ParseError(
+                f"constructor {ty} needs {needed} components, got {provided}",
+                tok.line, tok.col)
+
+    def _call(self) -> ast.Expr:
+        name_tok = self.advance()
+        name = name_tok.text
+        self.expect("(")
+        args: List[ast.Expr] = []
+        if not self.check(")"):
+            while True:
+                args.append(self._expression())
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        arg_types = [a.ty for a in args]
+        if any(t is None for t in arg_types):
+            raise ParseError(f"untyped argument to {name}()", name_tok.line, name_tok.col)
+        if name in self.functions:
+            ret, params = self.functions[name]
+            if len(args) != len(params):
+                raise ParseError(
+                    f"{name}() expects {len(params)} arguments, got {len(args)}",
+                    name_tok.line, name_tok.col)
+            args = [self._coerce(a, p.ty) for a, p in zip(args, params)]
+            return ast.Call(line=name_tok.line, ty=ret, callee=name, args=args)
+        if is_builtin(name):
+            try:
+                ret = resolve_builtin(name, [a.ty for a in args])  # type: ignore[misc]
+            except TypeError_ as exc:
+                raise ParseError(str(exc), name_tok.line, name_tok.col)
+            return ast.Call(line=name_tok.line, ty=ret, callee=name, args=args)
+        raise ParseError(f"call to undeclared function {name!r}",
+                         name_tok.line, name_tok.col)
+
+    # ------------------------------------------------------------------
+    # Type inference helpers
+    # ------------------------------------------------------------------
+
+    def _coerce(self, expr: ast.Expr, target: T.GLSLType) -> ast.Expr:
+        """Insert an implicit int->float conversion where GLSL allows one."""
+        if expr.ty == target or expr.ty is None:
+            return expr
+        if T.can_implicitly_convert(expr.ty, target):
+            conv = ast.Call(line=expr.line, ty=target, callee=str(target),
+                            args=[expr], is_constructor=True)
+            return conv
+        # Scalar float broadcasting into a vector initializer is *not*
+        # implicit in GLSL, so anything else is a real error.
+        raise ParseError(f"cannot convert {expr.ty} to {target}", expr.line)
+
+    def _unify(self, a: ast.Expr, b: ast.Expr) -> Tuple[ast.Expr, ast.Expr]:
+        if a.ty == b.ty:
+            return a, b
+        if a.ty is not None and b.ty is not None:
+            if T.can_implicitly_convert(a.ty, b.ty):
+                return self._coerce(a, b.ty), b
+            if T.can_implicitly_convert(b.ty, a.ty):
+                return a, self._coerce(b, a.ty)
+        raise ParseError(f"mismatched ternary branches: {a.ty} vs {b.ty}", a.line)
+
+    def _binary_type(
+        self, op: str, left: ast.Expr, right: ast.Expr, line: int
+    ) -> Tuple[T.GLSLType, ast.Expr, ast.Expr]:
+        lt, rt = left.ty, right.ty
+        if lt is None or rt is None:
+            raise ParseError("untyped operand", line)
+
+        if op in ("&&", "||", "^^"):
+            if lt != T.BOOL or rt != T.BOOL:
+                raise ParseError(f"operator {op} requires bool operands", line)
+            return T.BOOL, left, right
+
+        if op in ("==", "!="):
+            left, right = self._unify(left, right)
+            return T.BOOL, left, right
+
+        if op in ("<", ">", "<=", ">="):
+            left, right = self._unify(left, right)
+            if not isinstance(left.ty, T.Scalar):
+                raise ParseError(f"operator {op} requires scalar operands", line)
+            return T.BOOL, left, right
+
+        if op == "%":
+            if lt != T.INT or rt != T.INT:
+                raise ParseError("operator % requires int operands", line)
+            return T.INT, left, right
+
+        # Arithmetic: +, -, *, /
+        return self._arith_type(op, left, right, line)
+
+    def _arith_type(
+        self, op: str, left: ast.Expr, right: ast.Expr, line: int
+    ) -> Tuple[T.GLSLType, ast.Expr, ast.Expr]:
+        lt, rt = left.ty, right.ty
+        assert lt is not None and rt is not None
+
+        # Matrix algebra first (float-based only).
+        if isinstance(lt, T.Matrix) or isinstance(rt, T.Matrix):
+            if op == "*":
+                if isinstance(lt, T.Matrix) and isinstance(rt, T.Matrix):
+                    if lt.size != rt.size:
+                        raise ParseError("matrix size mismatch", line)
+                    return lt, left, right
+                if isinstance(lt, T.Matrix) and isinstance(rt, T.Vector):
+                    if rt.size != lt.size:
+                        raise ParseError("matrix*vector size mismatch", line)
+                    return rt, left, right
+                if isinstance(lt, T.Vector) and isinstance(rt, T.Matrix):
+                    if lt.size != rt.size:
+                        raise ParseError("vector*matrix size mismatch", line)
+                    return lt, left, right
+            # mat op scalar / mat +- mat are component-wise
+            if isinstance(lt, T.Matrix) and isinstance(rt, T.Matrix):
+                if lt != rt:
+                    raise ParseError("matrix size mismatch", line)
+                return lt, left, right
+            mat = lt if isinstance(lt, T.Matrix) else rt
+            other = rt if isinstance(lt, T.Matrix) else lt
+            if isinstance(other, T.Scalar):
+                if other.kind != T.ScalarKind.FLOAT:
+                    if other is rt:
+                        right = self._coerce(right, T.FLOAT)
+                    else:
+                        left = self._coerce(left, T.FLOAT)
+                return mat, left, right
+            raise ParseError(f"invalid matrix operand types {lt} {op} {rt}", line)
+
+        # Promote mixed int/float scalars and vectors.
+        lk = T.scalar_kind_of(lt)
+        rk = T.scalar_kind_of(rt)
+        if lk == T.ScalarKind.BOOL or rk == T.ScalarKind.BOOL:
+            raise ParseError(f"arithmetic on bool operands", line)
+        if lk != rk:
+            if lk in (T.ScalarKind.INT, T.ScalarKind.UINT) and rk == T.ScalarKind.FLOAT:
+                left = self._coerce(left, _float_like(lt))
+            elif rk in (T.ScalarKind.INT, T.ScalarKind.UINT) and lk == T.ScalarKind.FLOAT:
+                right = self._coerce(right, _float_like(rt))
+            else:
+                raise ParseError(f"mixed operand kinds {lt} {op} {rt}", line)
+            lt, rt = left.ty, right.ty
+            assert lt is not None and rt is not None
+
+        if isinstance(lt, T.Scalar) and isinstance(rt, T.Scalar):
+            return lt, left, right
+        if isinstance(lt, T.Vector) and isinstance(rt, T.Vector):
+            if lt.size != rt.size:
+                raise ParseError(f"vector size mismatch {lt} {op} {rt}", line)
+            return lt, left, right
+        if isinstance(lt, T.Vector) and isinstance(rt, T.Scalar):
+            return lt, left, right
+        if isinstance(lt, T.Scalar) and isinstance(rt, T.Vector):
+            return rt, left, right
+        raise ParseError(f"invalid operand types {lt} {op} {rt}", line)
+
+    def _index_type(self, base: ast.Expr, tok: Token) -> T.GLSLType:
+        ty = base.ty
+        if isinstance(ty, T.Array):
+            return ty.element
+        if isinstance(ty, T.Vector):
+            return T.Scalar(ty.kind)
+        if isinstance(ty, T.Matrix):
+            return ty.column_type
+        raise ParseError(f"type {ty} is not indexable", tok.line, tok.col)
+
+    def _swizzle_type(self, base: ast.Expr, name: str, tok: Token) -> T.GLSLType:
+        ty = base.ty
+        if not isinstance(ty, T.Vector):
+            raise ParseError(f"swizzle on non-vector type {ty}", tok.line, tok.col)
+        if not 1 <= len(name) <= 4:
+            raise ParseError(f"invalid swizzle {name!r}", tok.line, tok.col)
+        for charset in _SWIZZLE_SETS:
+            if all(c in charset for c in name):
+                if any(charset.index(c) >= ty.size for c in name):
+                    raise ParseError(
+                        f"swizzle {name!r} out of range for {ty}", tok.line, tok.col)
+                return T.vector_of(ty.kind, len(name))
+        raise ParseError(f"invalid swizzle {name!r}", tok.line, tok.col)
+
+
+def swizzle_indices(name: str) -> List[int]:
+    """Map a swizzle string like ``"xzy"`` to component indices ``[0, 2, 1]``."""
+    for charset in _SWIZZLE_SETS:
+        if all(c in charset for c in name):
+            return [charset.index(c) for c in name]
+    raise ParseError(f"invalid swizzle {name!r}")

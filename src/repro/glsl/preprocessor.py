@@ -1,0 +1,308 @@
+"""A GLSL preprocessor supporting the directives übershaders rely on.
+
+Supported: ``#version``, ``#extension``, ``#pragma`` (recorded/stripped),
+``#define`` (object-like and function-like), ``#undef``, ``#ifdef``,
+``#ifndef``, ``#if``, ``#elif``, ``#else``, ``#endif``.  Conditional
+expressions support integer literals, ``defined(X)``, the usual arithmetic,
+comparison and logical operators, and macro substitution.
+
+The implementation is line-based and textual, like the preprocessors inside
+real GLSL compilers (which operate before tokenization).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PreprocessorError
+
+_WORD_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_MAX_EXPANSION_DEPTH = 64
+
+
+@dataclass
+class MacroDef:
+    """A single ``#define`` entry."""
+
+    name: str
+    body: str
+    params: Optional[Tuple[str, ...]] = None  # None => object-like
+
+    @property
+    def is_function_like(self) -> bool:
+        return self.params is not None
+
+
+@dataclass
+class PreprocessResult:
+    """Output of :func:`preprocess`."""
+
+    text: str
+    version: Optional[str] = None
+    extensions: List[str] = field(default_factory=list)
+    macros: Dict[str, MacroDef] = field(default_factory=dict)
+
+
+def preprocess(source: str, defines: Optional[Dict[str, str]] = None) -> PreprocessResult:
+    """Run the preprocessor over *source*.
+
+    ``defines`` supplies predefined object-like macros (the übershader
+    specialisation mechanism): mapping name -> replacement text ("" for a bare
+    ``#define NAME``).
+    """
+    macros: Dict[str, MacroDef] = {}
+    for name, value in (defines or {}).items():
+        macros[name] = MacroDef(name, value)
+
+    result = PreprocessResult(text="", macros=macros)
+    out_lines: List[str] = []
+    # Stack of (parent_active, this_branch_taken, any_branch_taken_yet)
+    cond_stack: List[List[bool]] = []
+
+    lines = _splice_continuations(_strip_block_comments(source))
+    for lineno, raw in enumerate(lines, start=1):
+        stripped = raw.strip()
+        if stripped.startswith("#"):
+            _directive(stripped, lineno, macros, cond_stack, result)
+            continue
+        if _active(cond_stack):
+            out_lines.append(_expand_macros(raw, macros, lineno))
+
+    if cond_stack:
+        raise PreprocessorError("unterminated #if/#ifdef block", len(lines))
+
+    while out_lines and not out_lines[-1].strip():
+        out_lines.pop()
+    result.text = "\n".join(out_lines) + ("\n" if out_lines else "")
+    return result
+
+
+def _strip_block_comments(source: str) -> str:
+    """Remove ``/* */`` comments, preserving newlines for line numbering."""
+    out: List[str] = []
+    i = 0
+    n = len(source)
+    while i < n:
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise PreprocessorError("unterminated block comment")
+            out.append("\n" * source.count("\n", i, end + 2))
+            i = end + 2
+        elif source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end
+        else:
+            out.append(source[i])
+            i += 1
+    return "".join(out)
+
+
+def _splice_continuations(source: str) -> List[str]:
+    """Join lines ending in a backslash (macro bodies spanning lines)."""
+    lines = source.split("\n")
+    out: List[str] = []
+    buffer = ""
+    for line in lines:
+        if line.endswith("\\"):
+            buffer += line[:-1] + " "
+        else:
+            out.append(buffer + line)
+            buffer = ""
+    if buffer:
+        out.append(buffer)
+    return out
+
+
+def _active(cond_stack: Sequence[Sequence[bool]]) -> bool:
+    return all(frame[0] and frame[1] for frame in cond_stack)
+
+
+def _directive(
+    line: str,
+    lineno: int,
+    macros: Dict[str, MacroDef],
+    cond_stack: List[List[bool]],
+    result: PreprocessResult,
+) -> None:
+    body = line[1:].strip()
+    if not body:
+        return
+    match = _WORD_RE.match(body)
+    if not match:
+        raise PreprocessorError(f"malformed directive {line!r}", lineno)
+    name = match.group(0)
+    rest = body[match.end() :].strip()
+
+    if name in ("ifdef", "ifndef"):
+        macro = rest.split()[0] if rest else ""
+        if not macro:
+            raise PreprocessorError(f"#{name} requires a macro name", lineno)
+        taken = (macro in macros) == (name == "ifdef")
+        cond_stack.append([_active(cond_stack), taken, taken])
+        return
+    if name == "if":
+        taken = bool(_eval_condition(rest, macros, lineno))
+        cond_stack.append([_active(cond_stack), taken, taken])
+        return
+    if name == "elif":
+        if not cond_stack:
+            raise PreprocessorError("#elif without #if", lineno)
+        frame = cond_stack[-1]
+        if frame[2]:
+            frame[1] = False
+        else:
+            frame[1] = bool(_eval_condition(rest, macros, lineno))
+            frame[2] = frame[1]
+        return
+    if name == "else":
+        if not cond_stack:
+            raise PreprocessorError("#else without #if", lineno)
+        frame = cond_stack[-1]
+        frame[1] = not frame[2]
+        frame[2] = True
+        return
+    if name == "endif":
+        if not cond_stack:
+            raise PreprocessorError("#endif without #if", lineno)
+        cond_stack.pop()
+        return
+
+    if not _active(cond_stack):
+        return
+
+    if name == "define":
+        _define(rest, lineno, macros)
+    elif name == "undef":
+        if rest:
+            macros.pop(rest.split()[0], None)
+    elif name == "version":
+        result.version = rest
+    elif name == "extension":
+        result.extensions.append(rest)
+    elif name == "pragma":
+        pass
+    else:
+        raise PreprocessorError(f"unsupported directive #{name}", lineno)
+
+
+def _define(rest: str, lineno: int, macros: Dict[str, MacroDef]) -> None:
+    match = _WORD_RE.match(rest)
+    if not match:
+        raise PreprocessorError("#define requires a name", lineno)
+    name = match.group(0)
+    after = rest[match.end() :]
+    if after.startswith("("):
+        close = after.find(")")
+        if close < 0:
+            raise PreprocessorError(f"unterminated parameter list for macro {name}", lineno)
+        params = tuple(p.strip() for p in after[1:close].split(",") if p.strip())
+        body = after[close + 1 :].strip()
+        macros[name] = MacroDef(name, body, params)
+    else:
+        macros[name] = MacroDef(name, after.strip())
+
+
+def _expand_macros(text: str, macros: Dict[str, MacroDef], lineno: int, depth: int = 0) -> str:
+    if depth > _MAX_EXPANSION_DEPTH:
+        raise PreprocessorError("macro expansion too deep (recursive macro?)", lineno)
+    out: List[str] = []
+    i = 0
+    n = len(text)
+    changed = False
+    while i < n:
+        match = _WORD_RE.search(text, i)
+        if not match:
+            out.append(text[i:])
+            break
+        out.append(text[i : match.start()])
+        word = match.group(0)
+        macro = macros.get(word)
+        if macro is None:
+            out.append(word)
+            i = match.end()
+            continue
+        if macro.is_function_like:
+            args, end = _parse_macro_args(text, match.end(), lineno)
+            if args is None:  # not a call; leave the identifier alone
+                out.append(word)
+                i = match.end()
+                continue
+            if len(args) != len(macro.params or ()):
+                raise PreprocessorError(
+                    f"macro {word} expects {len(macro.params or ())} args, got {len(args)}",
+                    lineno,
+                )
+            body = macro.body
+            for param, arg in zip(macro.params or (), args):
+                body = re.sub(rf"\b{re.escape(param)}\b", arg.strip(), body)
+            out.append(body)
+            i = end
+        else:
+            out.append(macro.body)
+            i = match.end()
+        changed = True
+    expanded = "".join(out)
+    if changed:
+        return _expand_macros(expanded, macros, lineno, depth + 1)
+    return expanded
+
+
+def _parse_macro_args(
+    text: str, pos: int, lineno: int
+) -> Tuple[Optional[List[str]], int]:
+    """Parse a parenthesised argument list starting at or after *pos*.
+
+    Returns (args, end_index); args is None when no call parenthesis follows.
+    """
+    i = pos
+    while i < len(text) and text[i] in " \t":
+        i += 1
+    if i >= len(text) or text[i] != "(":
+        return None, pos
+    depth = 0
+    args: List[str] = []
+    current: List[str] = []
+    while i < len(text):
+        ch = text[i]
+        if ch == "(":
+            depth += 1
+            if depth > 1:
+                current.append(ch)
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                args.append("".join(current))
+                return ([a for a in args] if any(a.strip() for a in args) else []), i + 1
+            current.append(ch)
+        elif ch == "," and depth == 1:
+            args.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    raise PreprocessorError("unterminated macro argument list", lineno)
+
+
+def _eval_condition(expr: str, macros: Dict[str, MacroDef], lineno: int) -> int:
+    """Evaluate a ``#if`` expression to an integer."""
+    # Resolve defined(X) / defined X before macro expansion.
+    def replace_defined(match: re.Match) -> str:
+        name = match.group(1) or match.group(2)
+        return "1" if name in macros else "0"
+
+    expr = re.sub(r"defined\s*\(\s*(\w+)\s*\)|defined\s+(\w+)", replace_defined, expr)
+    expr = _expand_macros(expr, macros, lineno)
+    # Remaining identifiers evaluate to 0 per the C preprocessor convention.
+    expr = _WORD_RE.sub("0", expr)
+    expr = expr.replace("&&", " and ").replace("||", " or ")
+    expr = expr.replace("!=", "__NE__").replace("!", " not ").replace("__NE__", "!=")
+    if not expr.strip():
+        raise PreprocessorError("empty #if condition", lineno)
+    try:
+        value = eval(expr, {"__builtins__": {}}, {})  # noqa: S307 - sanitized arithmetic
+    except Exception as exc:
+        raise PreprocessorError(f"cannot evaluate condition {expr!r}: {exc}", lineno)
+    return int(bool(value)) if isinstance(value, bool) else int(value)

@@ -1,0 +1,65 @@
+"""Token definitions for the GLSL lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenKind(Enum):
+    IDENT = auto()
+    KEYWORD = auto()
+    TYPE = auto()          # basic type name (float, vec3, mat4, sampler2D, ...)
+    INT = auto()
+    FLOAT = auto()
+    BOOL = auto()
+    OP = auto()            # operator or punctuation
+    EOF = auto()
+
+
+#: GLSL keywords relevant to the subset we support.  Type names are kept in a
+#: separate set so the parser can distinguish declarations from expressions.
+KEYWORDS = frozenset(
+    {
+        "attribute", "break", "const", "continue", "discard", "do", "else",
+        "flat", "for", "highp", "if", "in", "inout", "layout", "lowp",
+        "mediump", "out", "precision", "return", "struct", "uniform",
+        "varying", "void", "while",
+    }
+)
+
+TYPE_NAMES = frozenset(
+    {
+        "float", "int", "uint", "bool",
+        "vec2", "vec3", "vec4",
+        "ivec2", "ivec3", "ivec4",
+        "uvec2", "uvec3", "uvec4",
+        "bvec2", "bvec3", "bvec4",
+        "mat2", "mat3", "mat4",
+        "sampler2D", "sampler3D", "samplerCube", "sampler2DShadow",
+        "sampler2DArray",
+    }
+)
+
+#: Multi-character operators, longest first so the lexer can greedily match.
+MULTI_CHAR_OPS = (
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "^^",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "++", "--", "<<", ">>",
+)
+
+SINGLE_CHAR_OPS = frozenset("+-*/%<>=!&|^?:;,.()[]{}~")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.col})"

@@ -1,0 +1,198 @@
+"""The GLSL type system used by the parser, lowering, and introspection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.errors import TypeError_
+
+
+class ScalarKind(Enum):
+    FLOAT = "float"
+    INT = "int"
+    UINT = "uint"
+    BOOL = "bool"
+
+
+@dataclass(frozen=True)
+class GLSLType:
+    """Base class; concrete types below."""
+
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Void(GLSLType):
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class Scalar(GLSLType):
+    kind: ScalarKind
+
+    def __str__(self) -> str:
+        return self.kind.value
+
+
+@dataclass(frozen=True)
+class Vector(GLSLType):
+    kind: ScalarKind
+    size: int  # 2..4
+
+    def __str__(self) -> str:
+        prefix = {
+            ScalarKind.FLOAT: "vec",
+            ScalarKind.INT: "ivec",
+            ScalarKind.UINT: "uvec",
+            ScalarKind.BOOL: "bvec",
+        }[self.kind]
+        return f"{prefix}{self.size}"
+
+
+@dataclass(frozen=True)
+class Matrix(GLSLType):
+    """Square float matrix (mat2/mat3/mat4); column-major like GLSL."""
+
+    size: int  # 2..4
+
+    def __str__(self) -> str:
+        return f"mat{self.size}"
+
+    @property
+    def column_type(self) -> Vector:
+        return Vector(ScalarKind.FLOAT, self.size)
+
+
+@dataclass(frozen=True)
+class Sampler(GLSLType):
+    name: str  # e.g. "sampler2D"
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def coord_size(self) -> int:
+        return {
+            "sampler2D": 2,
+            "sampler2DArray": 3,
+            "sampler2DShadow": 3,
+            "sampler3D": 3,
+            "samplerCube": 3,
+        }[self.name]
+
+
+@dataclass(frozen=True)
+class Array(GLSLType):
+    element: GLSLType
+    length: Optional[int]  # None for unsized (sized by initializer)
+
+    def __str__(self) -> str:
+        suffix = f"[{self.length}]" if self.length is not None else "[]"
+        return f"{self.element}{suffix}"
+
+
+VOID = Void()
+FLOAT = Scalar(ScalarKind.FLOAT)
+INT = Scalar(ScalarKind.INT)
+UINT = Scalar(ScalarKind.UINT)
+BOOL = Scalar(ScalarKind.BOOL)
+VEC2 = Vector(ScalarKind.FLOAT, 2)
+VEC3 = Vector(ScalarKind.FLOAT, 3)
+VEC4 = Vector(ScalarKind.FLOAT, 4)
+IVEC2 = Vector(ScalarKind.INT, 2)
+IVEC3 = Vector(ScalarKind.INT, 3)
+IVEC4 = Vector(ScalarKind.INT, 4)
+BVEC2 = Vector(ScalarKind.BOOL, 2)
+BVEC3 = Vector(ScalarKind.BOOL, 3)
+BVEC4 = Vector(ScalarKind.BOOL, 4)
+MAT2 = Matrix(2)
+MAT3 = Matrix(3)
+MAT4 = Matrix(4)
+
+_BY_NAME = {
+    "void": VOID,
+    "float": FLOAT,
+    "int": INT,
+    "uint": UINT,
+    "bool": BOOL,
+    "vec2": VEC2,
+    "vec3": VEC3,
+    "vec4": VEC4,
+    "ivec2": IVEC2,
+    "ivec3": IVEC3,
+    "ivec4": IVEC4,
+    "uvec2": Vector(ScalarKind.UINT, 2),
+    "uvec3": Vector(ScalarKind.UINT, 3),
+    "uvec4": Vector(ScalarKind.UINT, 4),
+    "bvec2": BVEC2,
+    "bvec3": BVEC3,
+    "bvec4": BVEC4,
+    "mat2": MAT2,
+    "mat3": MAT3,
+    "mat4": MAT4,
+    "sampler2D": Sampler("sampler2D"),
+    "sampler3D": Sampler("sampler3D"),
+    "samplerCube": Sampler("samplerCube"),
+    "sampler2DShadow": Sampler("sampler2DShadow"),
+    "sampler2DArray": Sampler("sampler2DArray"),
+}
+
+
+def type_from_name(name: str) -> GLSLType:
+    """Look up a basic type by its GLSL name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise TypeError_(f"unknown type name {name!r}")
+
+
+def scalar_kind_of(ty: GLSLType) -> ScalarKind:
+    """The element scalar kind of a scalar/vector/matrix type."""
+    if isinstance(ty, Scalar):
+        return ty.kind
+    if isinstance(ty, Vector):
+        return ty.kind
+    if isinstance(ty, Matrix):
+        return ScalarKind.FLOAT
+    raise TypeError_(f"type {ty} has no scalar kind")
+
+
+def component_count(ty: GLSLType) -> int:
+    """Number of scalar components (1 for scalars, n for vecN, n*n for matN)."""
+    if isinstance(ty, Scalar):
+        return 1
+    if isinstance(ty, Vector):
+        return ty.size
+    if isinstance(ty, Matrix):
+        return ty.size * ty.size
+    raise TypeError_(f"type {ty} has no component count")
+
+
+def vector_of(kind: ScalarKind, size: int) -> GLSLType:
+    """vecN/ivecN/bvecN constructor; size 1 gives the scalar type."""
+    if size == 1:
+        return Scalar(kind)
+    if 2 <= size <= 4:
+        return Vector(kind, size)
+    raise TypeError_(f"invalid vector size {size}")
+
+
+def is_float_based(ty: GLSLType) -> bool:
+    return isinstance(ty, (Matrix,)) or (
+        isinstance(ty, (Scalar, Vector)) and scalar_kind_of(ty) == ScalarKind.FLOAT
+    )
+
+
+def can_implicitly_convert(src: GLSLType, dst: GLSLType) -> bool:
+    """GLSL's implicit conversions: int/uint -> float, element-wise for vectors."""
+    if src == dst:
+        return True
+    if isinstance(src, Scalar) and isinstance(dst, Scalar):
+        return src.kind in (ScalarKind.INT, ScalarKind.UINT) and dst.kind == ScalarKind.FLOAT
+    if isinstance(src, Vector) and isinstance(dst, Vector) and src.size == dst.size:
+        return src.kind in (ScalarKind.INT, ScalarKind.UINT) and dst.kind == ScalarKind.FLOAT
+    return False

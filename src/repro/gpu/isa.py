@@ -1,0 +1,92 @@
+"""Classify IR instructions into machine-op categories for the cost models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.ir.instructions import (
+    BinOp, Call, Cmp, CondBr, Construct, Convert, ExtractElem, InsertElem,
+    Instr, LoadElem, LoadGlobal, LoadVar, Phi, Sample, Select, Shuffle,
+    StoreElem, StoreOutput, StoreVar, Terminator,
+)
+
+#: Builtins served by the special-function unit (slow, scalar-at-a-time on
+#: most GPUs).
+TRANSCENDENTALS = frozenset(
+    {"sin", "cos", "tan", "asin", "acos", "atan", "exp", "log", "exp2",
+     "log2", "pow", "sqrt", "inversesqrt", "radians", "degrees"}
+)
+
+#: Builtins that expand to short ALU sequences (costed by component count).
+_CHEAP_CALLS = frozenset(
+    {"abs", "sign", "floor", "ceil", "fract", "round", "trunc", "min", "max",
+     "clamp", "mix", "step", "smoothstep", "mod", "any", "all", "not",
+     "lessThan", "greaterThan", "equal"}
+)
+
+#: Reduction builtins with dedicated support on vector ISAs.
+_REDUCTIONS = frozenset({"dot", "length", "distance", "normalize", "cross",
+                         "reflect", "refract", "faceforward"})
+
+
+class OpClass(Enum):
+    ALU = auto()            # simple arithmetic / compares / selects
+    MOV = auto()            # data movement: insert/extract/shuffle/construct
+    TRANSCENDENTAL = auto()
+    REDUCTION = auto()      # dot-like ops
+    TEXTURE = auto()
+    INTERP = auto()         # varying input read
+    UNIFORM = auto()        # uniform / constant-buffer read
+    LOCAL_MEM = auto()      # array slot access (indexed temporaries)
+    EXPORT = auto()         # colour output write
+    BRANCH = auto()
+    PHI = auto()            # free (register coalescing)
+
+
+@dataclass(frozen=True)
+class MachineOp:
+    op_class: OpClass
+    width: int  # scalar lanes touched
+
+
+def classify(instr: Instr) -> MachineOp:
+    """Map an IR instruction to its machine-op class and lane width."""
+    if isinstance(instr, (BinOp, Cmp, Select, Convert)):
+        return MachineOp(OpClass.ALU, instr.ty.width if not isinstance(
+            instr, Cmp) else instr.lhs.ty.width)
+    if isinstance(instr, (InsertElem, ExtractElem)):
+        return MachineOp(OpClass.MOV, 1)
+    if isinstance(instr, Shuffle):
+        return MachineOp(OpClass.MOV, len(instr.mask))
+    if isinstance(instr, Construct):
+        return MachineOp(OpClass.MOV, instr.ty.width)
+    if isinstance(instr, Call):
+        if instr.callee in TRANSCENDENTALS:
+            return MachineOp(OpClass.TRANSCENDENTAL, instr.ty.width)
+        if instr.callee in _REDUCTIONS:
+            width = instr.operands[0].ty.width if instr.operands else instr.ty.width
+            return MachineOp(OpClass.REDUCTION, width)
+        if instr.callee in _CHEAP_CALLS:
+            return MachineOp(OpClass.ALU, instr.ty.width)
+        return MachineOp(OpClass.ALU, instr.ty.width)
+    if isinstance(instr, Sample):
+        return MachineOp(OpClass.TEXTURE, instr.ty.width)
+    if isinstance(instr, LoadGlobal):
+        if instr.kind == "input":
+            return MachineOp(OpClass.INTERP, instr.ty.width)
+        return MachineOp(OpClass.UNIFORM, instr.ty.width)
+    if isinstance(instr, LoadElem) and instr.slot.const_init is not None:
+        # Const arrays live in constant registers on every real GPU.
+        return MachineOp(OpClass.UNIFORM, instr.ty.width)
+    if isinstance(instr, (LoadVar, StoreVar, LoadElem, StoreElem)):
+        return MachineOp(OpClass.LOCAL_MEM, instr.ty.width)
+    if isinstance(instr, StoreOutput):
+        return MachineOp(OpClass.EXPORT, instr.ty.width)
+    if isinstance(instr, Phi):
+        return MachineOp(OpClass.PHI, instr.ty.width)
+    if isinstance(instr, Terminator):
+        if isinstance(instr, CondBr):
+            return MachineOp(OpClass.BRANCH, 1)
+        return MachineOp(OpClass.BRANCH, 0)  # unconditional: free-ish
+    return MachineOp(OpClass.ALU, 1)

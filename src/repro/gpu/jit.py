@@ -1,0 +1,74 @@
+"""Simulated vendor driver JIT compilers.
+
+OpenGL drivers receive GLSL source and compile it with their own (opaque)
+optimizer.  Each vendor's JIT here re-parses the (possibly offline-optimized)
+source through the shared frontend and applies a vendor-specific pipeline:
+the always-on canonical cleanup, a driver unroller with vendor limits, and a
+subset of the safe passes.  No JIT performs the unsafe FP passes — a
+conformant driver cannot (paper Section III-B).
+
+The redundancy (or absence) of each offline flag in a vendor's JIT is one of
+the two mechanisms behind the paper's cross-platform variance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.glsl import parse_shader, preprocess
+from repro.ir import lower_shader, promote_to_ssa
+from repro.ir.module import Module
+from repro.passes.canonicalize import canonicalize
+from repro.passes.coalesce import coalesce
+from repro.passes.cse import local_cse
+from repro.passes.dce import trivial_dce
+from repro.passes.div_to_mul import div_to_mul
+from repro.passes.gvn import gvn
+from repro.passes.hoist import hoist
+from repro.passes.simplify_cfg import merge_straightline_blocks
+from repro.passes.unroll import unroll
+
+_SAFE_PASSES = {
+    "gvn": gvn,
+    "coalesce": coalesce,
+    "div_to_mul": div_to_mul,
+    "hoist": hoist,
+}
+
+
+@dataclass(frozen=True)
+class VendorJIT:
+    """One driver compiler: which redundant optimizations it already does."""
+
+    name: str
+    #: Safe passes the driver applies itself (subset of _SAFE_PASSES keys).
+    passes: Tuple[str, ...] = ()
+    #: Driver unroller limit (0 = driver does not unroll).
+    unroll_max_trips: int = 0
+    unroll_max_growth: int = 1024
+
+    def compile(self, source: str) -> Module:
+        """Parse and optimize GLSL the way this vendor's driver would."""
+        pp = preprocess(source)
+        shader = parse_shader(pp.text)
+        module = lower_shader(shader, version=pp.version)
+        promote_to_ssa(module.function)
+        function = module.function
+
+        def cleanup() -> None:
+            canonicalize(function)
+            merge_straightline_blocks(function)
+            local_cse(function)
+            trivial_dce(function)
+            canonicalize(function)
+
+        cleanup()
+        if self.unroll_max_trips > 0:
+            unroll(function, max_trips=self.unroll_max_trips,
+                   max_growth=self.unroll_max_growth)
+            cleanup()
+        for name in self.passes:
+            _SAFE_PASSES[name](function)
+            cleanup()
+        return module

@@ -1,0 +1,82 @@
+"""Register pressure estimation via SSA liveness analysis.
+
+``max_live_scalars`` computes the maximum number of simultaneously live
+scalar register slots across all program points — the input to the occupancy
+model.  Huge basic blocks with many live texture results (after unrolling or
+conditional flattening) push this up, dropping warp counts and exposing
+texture latency: the paper's "strain register allocation" pathology.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.ir.instructions import Instr, Phi
+from repro.ir.module import BasicBlock, Function
+from repro.ir.values import Constant, Undef, Value
+
+
+def max_live_scalars(function: Function) -> int:
+    """Peak live scalar values (vec4 counts as 4 slots)."""
+    live_in: Dict[BasicBlock, Set[Value]] = {b: set() for b in function.blocks}
+    live_out: Dict[BasicBlock, Set[Value]] = {b: set() for b in function.blocks}
+    preds = function.predecessors()
+
+    def uses_defs(block: BasicBlock):
+        uses: Set[Value] = set()
+        defs: Set[Value] = set()
+        for instr in block.instrs:
+            if isinstance(instr, Phi):
+                defs.add(instr)
+                continue  # phi uses live at predecessor ends, handled below
+            for operand in instr.operands:
+                if isinstance(operand, (Constant, Undef)):
+                    continue
+                if operand not in defs:
+                    uses.add(operand)
+            defs.add(instr)
+        return uses, defs
+
+    block_uses = {}
+    block_defs = {}
+    for block in function.blocks:
+        block_uses[block], block_defs[block] = uses_defs(block)
+
+    # Iterative backward dataflow.
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(function.blocks):
+            out: Set[Value] = set()
+            for succ in block.successors():
+                out |= live_in[succ]
+                for phi in succ.phis():
+                    for pred, value in phi.incoming:
+                        if pred is block and isinstance(value, Instr):
+                            out.add(value)
+            new_in = block_uses[block] | (out - block_defs[block])
+            # Phis defined here are live-in conceptually (they receive on the
+            # edge); keep them out of live-in to avoid double counting.
+            if out != live_out[block] or new_in != live_in[block]:
+                live_out[block] = out
+                live_in[block] = new_in
+                changed = True
+
+    peak = 0
+    for block in function.blocks:
+        live = set(live_out[block])
+        peak = max(peak, _width_sum(live))
+        for instr in reversed(block.instrs):
+            if instr in live:
+                live.discard(instr)
+            if isinstance(instr, Phi):
+                continue
+            for operand in instr.operands:
+                if not isinstance(operand, (Constant, Undef)):
+                    live.add(operand)
+            peak = max(peak, _width_sum(live))
+    return peak
+
+
+def _width_sum(values: Set[Value]) -> int:
+    return sum(v.ty.width for v in values)

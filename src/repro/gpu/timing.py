@@ -1,0 +1,32 @@
+"""GL_TIME_ELAPSED measurement noise model.
+
+The paper notes timer queries "can be noisy and introduce profiling
+overhead"; it fights that with 100 frames x 5 repeats per variant.  We model
+measured draw time as
+
+    measured = true * (1 + eps) + overhead,   eps ~ N(0, sigma)
+
+with per-platform sigma (Intel least noisy per Section VI-D-7, mobile worst)
+plus timer quantization.  All randomness is seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TimerModel:
+    sigma: float             # relative gaussian noise per query
+    overhead_ns: float       # profiling overhead added to each query
+    quantum_ns: float        # timer resolution
+    drift_sigma: float = 0.0  # slow per-frame drift (thermal, mobile)
+
+    def measure(self, true_ns: float, rng: random.Random) -> float:
+        drift = rng.gauss(0.0, self.drift_sigma) if self.drift_sigma else 0.0
+        noisy = true_ns * (1.0 + rng.gauss(0.0, self.sigma) + drift)
+        noisy += self.overhead_ns
+        if self.quantum_ns > 0:
+            noisy = round(noisy / self.quantum_ns) * self.quantum_ns
+        return max(noisy, 0.0)

@@ -1,0 +1,9 @@
+"""The paper's five GPU platforms (Section IV-C)."""
+
+from repro.gpu.vendors.nvidia import NVIDIA
+from repro.gpu.vendors.amd import AMD
+from repro.gpu.vendors.intel import INTEL
+from repro.gpu.vendors.arm_mali import ARM
+from repro.gpu.vendors.qualcomm import QUALCOMM
+
+__all__ = ["NVIDIA", "AMD", "INTEL", "ARM", "QUALCOMM"]

@@ -1,0 +1,47 @@
+"""AMD Radeon RX 480 (Polaris), Mesa 17.0-devel radeonsi/LLVM 3.9.
+
+Scalar (GCN) ISA.  The era's Mesa stack did global value numbering but NOT
+loop unrolling of GLSL loops — which is why the paper finds "On AMD, loop
+unrolling always improves performance, and can result in 35% gains" and why
+the default LunarGlass flags (which include Unroll) sit close to the optimal
+speed-ups on this platform.
+"""
+
+from repro.gpu.cost import GPUSpec
+from repro.gpu.jit import VendorJIT
+from repro.gpu.platform import Platform
+from repro.gpu.timing import TimerModel
+
+AMD = Platform(
+    name="AMD",
+    device="Radeon RX 480",
+    spec=GPUSpec(
+        name="RX480",
+        isa="scalar",
+        alu=1.0,
+        mov=0.5,
+        transcendental=3.0,
+        texture_issue=2.0,
+        texture_latency=140.0,
+        interp=1.0,
+        uniform_load=0.4,
+        local_mem=2.5,
+        export=2.0,
+        branch=1.0,
+        divergent_branch=4.0,
+        reg_file=384,
+        max_warps=12,
+        warps_full_hiding=6,
+        reg_overhead=8,
+        icache_ops=8192,
+        icache_penalty=1.2,
+        throughput=2.7e12,  # 2304 lanes x ~1.2 GHz
+    ),
+    jit=VendorJIT(
+        name="mesa-17.0-radeonsi",
+        passes=("gvn", "div_to_mul"),
+        unroll_max_trips=0,  # radeonsi-era Mesa: no GLSL loop unrolling
+    ),
+    timer=TimerModel(sigma=0.012, overhead_ns=500.0, quantum_ns=160.0),
+    is_mobile=False,
+)

@@ -1,0 +1,55 @@
+"""ARM Mali-T880 MP12 (Midgard), Samsung Galaxy S7 / Exynos 8890.
+
+The odd one out: a *vector* (VLIW-ish) ISA.  A vec4 multiply costs one issue
+— the same as a scalar multiply — so the offline FP-Reassociate pass's
+scalar grouping (a win on every scalar ISA) *wastes lanes* here and shows up
+as the paper's 20% FP-reassociation slow-down that ejects the pass from
+ARM's best static flags.  Branches are expensive (hoisting often helps, and
+is in ARM's best static set) but the small register file makes huge
+flattened/unrolled blocks drop occupancy hard (the -35% hoist pathology).
+The driver only unrolls tiny loops, leaving offline Unroll the best flag on
+ARM (peak ~25%).
+"""
+
+from repro.gpu.cost import GPUSpec
+from repro.gpu.jit import VendorJIT
+from repro.gpu.platform import Platform
+from repro.gpu.timing import TimerModel
+
+ARM = Platform(
+    name="ARM",
+    device="Mali-T880 MP12 (Galaxy S7)",
+    spec=GPUSpec(
+        name="MaliT880",
+        isa="vector",
+        alu=1.0,            # per vec4 issue
+        mov=1.0,
+        transcendental=3.0,
+        reduction=1.5,      # Midgard dot-product support
+        texture_issue=2.5,
+        texture_latency=180.0,
+        interp=1.0,
+        uniform_load=0.5,
+        local_mem=3.0,
+        export=2.5,
+        branch=1.5,
+        divergent_branch=8.0,  # divergent branching is costly on Midgard
+        scalar_op_penalty=2.6,  # scalar ops waste vector lanes
+        reg_file=256,       # small register budget drives the pathologies
+        max_warps=8,
+        warps_full_hiding=4,
+        reg_overhead=6,
+        icache_ops=1024,
+        icache_penalty=1.4,
+        throughput=1.0e10,  # 12 cores x ~0.85 GHz, per-issue accounting
+    ),
+    jit=VendorJIT(
+        name="mali-r12p0",
+        passes=("div_to_mul",),
+        unroll_max_trips=4,
+        unroll_max_growth=256,
+    ),
+    timer=TimerModel(sigma=0.030, overhead_ns=2000.0, quantum_ns=1000.0,
+                     drift_sigma=0.008),
+    is_mobile=True,
+)

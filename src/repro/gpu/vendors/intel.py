@@ -1,0 +1,48 @@
+"""Intel HD Graphics 530 (Skylake GT2), Mesa 17.0-devel i965.
+
+Scalar (SIMD8/16) ISA with a comparatively large register file; Mesa's i965
+backend unrolled loops and value-numbered, so offline Unroll is near-zero /
+slightly negative (artifact cost only) and GVN ~0.  Intel is also the
+quietest platform in the paper's measurements (Section VI-D-7: "Intel (which
+has the least measurement noise)").
+"""
+
+from repro.gpu.cost import GPUSpec
+from repro.gpu.jit import VendorJIT
+from repro.gpu.platform import Platform
+from repro.gpu.timing import TimerModel
+
+INTEL = Platform(
+    name="Intel",
+    device="HD Graphics 530",
+    spec=GPUSpec(
+        name="HD530",
+        isa="scalar",
+        alu=1.0,
+        mov=0.5,
+        transcendental=4.0,
+        texture_issue=2.5,
+        texture_latency=160.0,
+        interp=1.2,
+        uniform_load=0.4,
+        local_mem=2.5,
+        export=2.5,
+        branch=1.0,
+        divergent_branch=4.0,
+        reg_file=448,
+        max_warps=10,
+        warps_full_hiding=5,
+        reg_overhead=10,
+        icache_ops=8192,
+        icache_penalty=1.2,
+        throughput=2.2e11,  # 192 lanes x ~1.15 GHz
+    ),
+    jit=VendorJIT(
+        name="mesa-17.0-i965",
+        passes=("gvn", "div_to_mul"),
+        unroll_max_trips=32,
+        unroll_max_growth=2048,
+    ),
+    timer=TimerModel(sigma=0.004, overhead_ns=300.0, quantum_ns=80.0),
+    is_mobile=False,
+)

@@ -1,0 +1,48 @@
+"""NVIDIA GeForce GTX 1080 (Pascal), proprietary driver 375.39.
+
+Scalar SIMT ISA; the most mature JIT of the five: its own aggressive
+unrolling and global value numbering make the offline Unroll/GVN flags
+near no-ops (paper: both "near-zero" on NVIDIA, unroll peak ~5% from loops
+just past the driver's unroll budget).  No unsafe FP in the driver, so the
+offline FP-Reassociate flag carries real gains.
+"""
+
+from repro.gpu.cost import GPUSpec
+from repro.gpu.jit import VendorJIT
+from repro.gpu.platform import Platform
+from repro.gpu.timing import TimerModel
+
+NVIDIA = Platform(
+    name="NVIDIA",
+    device="GeForce GTX 1080",
+    spec=GPUSpec(
+        name="GTX1080",
+        isa="scalar",
+        alu=1.0,
+        mov=0.4,
+        transcendental=2.0,
+        texture_issue=1.5,
+        texture_latency=120.0,
+        interp=1.0,
+        uniform_load=0.3,
+        local_mem=2.0,
+        export=2.0,
+        branch=1.0,
+        divergent_branch=3.0,
+        reg_file=512,
+        max_warps=16,
+        warps_full_hiding=6,
+        reg_overhead=8,
+        icache_ops=16384,
+        icache_penalty=1.15,
+        throughput=4.0e12,  # 2560 lanes x ~1.6 GHz
+    ),
+    jit=VendorJIT(
+        name="nvidia-375.39",
+        passes=("gvn", "div_to_mul"),
+        unroll_max_trips=48,
+        unroll_max_growth=120,
+    ),
+    timer=TimerModel(sigma=0.010, overhead_ns=400.0, quantum_ns=160.0),
+    is_mobile=False,
+)

@@ -1,0 +1,51 @@
+"""Qualcomm Adreno 530, HTC 10 / Snapdragon 820.
+
+Scalar ISA with a weak-at-the-time driver optimizer: no global value
+numbering (offline GVN gains ~15% in some shaders — the only platform where
+it does) and no FP simplification, so FP-Reassociate has its biggest peak
+(+25%) here — but the small register file and tiny instruction cache also
+give it the deepest troughs (-15%), and offline Unroll past the driver's own
+budget can dip 8% on instruction-cache pressure (why Unroll is missing from
+Qualcomm's best static flags).
+"""
+
+from repro.gpu.cost import GPUSpec
+from repro.gpu.jit import VendorJIT
+from repro.gpu.platform import Platform
+from repro.gpu.timing import TimerModel
+
+QUALCOMM = Platform(
+    name="Qualcomm",
+    device="Adreno 530 (HTC 10)",
+    spec=GPUSpec(
+        name="Adreno530",
+        isa="scalar",
+        alu=1.0,
+        mov=0.5,
+        transcendental=3.0,
+        texture_issue=2.0,
+        texture_latency=200.0,
+        interp=1.0,
+        uniform_load=0.5,
+        local_mem=3.0,
+        export=2.5,
+        branch=1.2,
+        divergent_branch=6.0,
+        reg_file=256,
+        max_warps=16,
+        warps_full_hiding=4,
+        reg_overhead=8,
+        icache_ops=120,
+        icache_penalty=1.25,
+        throughput=1.7e11,  # 256 lanes x ~0.65 GHz
+    ),
+    jit=VendorJIT(
+        name="adreno-530-v415",
+        passes=("div_to_mul",),
+        unroll_max_trips=16,
+        unroll_max_growth=768,
+    ),
+    timer=TimerModel(sigma=0.035, overhead_ns=2500.0, quantum_ns=1000.0,
+                     drift_sigma=0.010),
+    is_mobile=True,
+)

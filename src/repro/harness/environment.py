@@ -1,0 +1,92 @@
+"""Shader execution environment: one shader variant on one platform.
+
+This is the simulated counterpart of the paper's custom framework that
+"repeatedly rendered full-screen quads using the specified fragment shader,
+and timed the execution of each draw-call":
+
+1. the platform's driver JIT compiles the (possibly offline-optimized) GLSL;
+2. a matching vertex shader is generated from the fragment interface;
+3. uniforms/textures get introspected defaults;
+4. the reference interpreter profiles dynamic block execution over sample
+   fragments (branches may depend on fragment position);
+5. the platform cost model turns the compiled IR + profile into a true draw
+   time, and the timer model + protocol produce the reported measurement.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import HarnessError
+from repro.gpu.cost import CostBreakdown, draw_time_ns, estimate_kernel
+from repro.gpu.platform import Platform
+from repro.harness.protocol import Measurement, run_protocol
+from repro.harness.uniforms import (
+    default_textures, default_uniform_values, fragment_inputs,
+)
+from repro.harness.vertex_gen import generate_vertex_shader
+from repro.ir.interp import Interpreter
+from repro.ir.module import Module
+
+#: Sample fragment positions for dynamic profiling (centre + corners-ish).
+SAMPLE_FRAGMENTS: Tuple[Tuple[float, float], ...] = (
+    (0.5, 0.5), (0.2, 0.2), (0.8, 0.2), (0.2, 0.8), (0.8, 0.8),
+)
+
+
+@dataclass
+class ExecutionReport:
+    """Everything the environment learned about one variant."""
+
+    cost: CostBreakdown
+    true_ns: float
+    measurement: Measurement
+    vertex_shader: str
+
+
+class ShaderExecutionEnvironment:
+    """Compile-and-time one fragment shader variant on one platform."""
+
+    def __init__(self, platform: Platform):
+        self.platform = platform
+
+    def compile(self, source: str) -> Module:
+        return self.platform.jit.compile(source)
+
+    def profile(self, module: Module) -> Dict[str, float]:
+        """Average dynamic block-visit counts over the sample fragments."""
+        interface = module.interface
+        uniforms = default_uniform_values(interface)
+        textures = default_textures(interface)
+        totals: Dict[str, float] = {}
+        for position in SAMPLE_FRAGMENTS:
+            interp = Interpreter(module, uniforms=uniforms,
+                                 inputs=fragment_inputs(interface, position),
+                                 textures=textures)
+            interp.run()
+            for name, visits in interp.stats.block_visits.items():
+                totals[name] = totals.get(name, 0.0) + visits
+        return {name: count / len(SAMPLE_FRAGMENTS)
+                for name, count in totals.items()}
+
+    def run(self, source: str, seed: int = 0) -> ExecutionReport:
+        """Full pipeline: JIT, profile, cost, measure."""
+        try:
+            module = self.compile(source)
+        except Exception as exc:
+            raise HarnessError(
+                f"{self.platform.name} driver failed to compile shader: {exc}"
+            ) from exc
+        profile = self.profile(module)
+        cost = estimate_kernel(module.function, self.platform.spec, profile)
+        true_ns = draw_time_ns(cost, self.platform.spec,
+                               self.platform.fragments_per_draw)
+        rng = random.Random((seed * 1_000_003) ^ hash(self.platform.name))
+        measurement = run_protocol(true_ns, self.platform.timer, rng,
+                                   draws_per_frame=self.platform.draws_per_frame)
+        vertex_shader = generate_vertex_shader(module.interface)
+        return ExecutionReport(cost=cost, true_ns=true_ns,
+                               measurement=measurement,
+                               vertex_shader=vertex_shader)

@@ -1,0 +1,134 @@
+"""Result records for the exhaustive study, with JSON (de)serialisation so
+benchmarks can cache a completed study run on disk."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.passes import OptimizationFlags
+
+
+@dataclass
+class ShaderCase:
+    """One corpus shader instance."""
+
+    name: str
+    family: str
+    source: str
+
+
+@dataclass
+class VariantRecord:
+    """One distinct optimized text of one shader."""
+
+    variant_id: int
+    flag_indices: List[int]          # all combos (0..255) producing this text
+    text_hash: str
+    #: platform name -> measured mean ns
+    times_ns: Dict[str, float] = field(default_factory=dict)
+    static_ops: Dict[str, int] = field(default_factory=dict)
+    registers: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class ShaderResult:
+    name: str
+    family: str
+    loc: int
+    arm_static_cycles: float
+    variants: List[VariantRecord] = field(default_factory=list)
+    #: platform name -> measured mean ns of the *unaltered* shader
+    original_times_ns: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def unique_variant_count(self) -> int:
+        return len(self.variants)
+
+    def variant_for_flags(self, flags: OptimizationFlags) -> VariantRecord:
+        for variant in self.variants:
+            if flags.index in variant.flag_indices:
+                return variant
+        raise KeyError(f"no variant for flags {flags} in shader {self.name}")
+
+    def speedup_pct(self, platform: str, flags: OptimizationFlags) -> float:
+        """Percentage speed-up of *flags* over the unaltered shader."""
+        base = self.original_times_ns[platform]
+        time = self.variant_for_flags(flags).times_ns[platform]
+        return (base / time - 1.0) * 100.0
+
+    def variant_speedup_pct(self, platform: str, variant: VariantRecord) -> float:
+        base = self.original_times_ns[platform]
+        return (base / variant.times_ns[platform] - 1.0) * 100.0
+
+    def best_speedup_pct(self, platform: str) -> float:
+        return max(self.variant_speedup_pct(platform, v) for v in self.variants)
+
+
+@dataclass
+class StudyResult:
+    platforms: List[str]
+    shaders: List[ShaderResult] = field(default_factory=list)
+    seed: int = 0
+
+    def shader(self, name: str) -> ShaderResult:
+        for result in self.shaders:
+            if result.name == name:
+                return result
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------
+    # Serialisation (benchmark caching)
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "platforms": self.platforms,
+            "seed": self.seed,
+            "shaders": [
+                {
+                    "name": s.name,
+                    "family": s.family,
+                    "loc": s.loc,
+                    "arm_static_cycles": s.arm_static_cycles,
+                    "original_times_ns": s.original_times_ns,
+                    "variants": [
+                        {
+                            "variant_id": v.variant_id,
+                            "flag_indices": v.flag_indices,
+                            "text_hash": v.text_hash,
+                            "times_ns": v.times_ns,
+                            "static_ops": v.static_ops,
+                            "registers": v.registers,
+                        }
+                        for v in s.variants
+                    ],
+                }
+                for s in self.shaders
+            ],
+        }
+        return json.dumps(payload)
+
+    @staticmethod
+    def from_json(text: str) -> "StudyResult":
+        payload = json.loads(text)
+        result = StudyResult(platforms=payload["platforms"],
+                             seed=payload.get("seed", 0))
+        for s in payload["shaders"]:
+            shader = ShaderResult(
+                name=s["name"], family=s["family"], loc=s["loc"],
+                arm_static_cycles=s["arm_static_cycles"],
+                original_times_ns=s["original_times_ns"],
+            )
+            for v in s["variants"]:
+                shader.variants.append(VariantRecord(
+                    variant_id=v["variant_id"],
+                    flag_indices=v["flag_indices"],
+                    text_hash=v["text_hash"],
+                    times_ns=v["times_ns"],
+                    static_ops={k: int(x) for k, x in v["static_ops"].items()},
+                    registers={k: int(x) for k, x in v["registers"].items()},
+                ))
+            result.shaders.append(shader)
+        return result

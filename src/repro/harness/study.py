@@ -1,0 +1,91 @@
+"""The exhaustive iterative-compilation study (paper Sections III-A, IV).
+
+For every corpus shader: compile all 256 flag combinations, deduplicate the
+emitted GLSL (most combinations collapse — Fig. 4c), then time every unique
+variant plus the unaltered original on every platform through the simulated
+execution environments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.pipeline import ShaderCompiler
+from repro.glsl.metrics import lines_of_code
+from repro.gpu.platform import Platform, all_platforms
+from repro.harness.environment import ShaderExecutionEnvironment
+from repro.harness.results import ShaderCase, ShaderResult, StudyResult, VariantRecord
+
+
+@dataclass
+class StudyConfig:
+    platforms: Optional[Sequence[Platform]] = None
+    seed: int = 2018
+    #: measure the emitted ES dialect on mobile platforms (the paper's
+    #: glslang+SPIRV-Cross conversion path); the default keeps one dialect
+    #: for all platforms, which dedups compiles across platforms.
+    verbose: bool = False
+
+
+def run_study(corpus: Sequence[ShaderCase],
+              config: Optional[StudyConfig] = None) -> StudyResult:
+    config = config or StudyConfig()
+    platforms = list(config.platforms or all_platforms())
+    result = StudyResult(platforms=[p.name for p in platforms],
+                         seed=config.seed)
+    environments = {p.name: ShaderExecutionEnvironment(p) for p in platforms}
+
+    for case_index, case in enumerate(corpus):
+        if config.verbose:
+            print(f"[study] {case_index + 1}/{len(corpus)} {case.name}")
+        shader_result = _run_one(case, case_index, platforms, environments,
+                                 config.seed)
+        result.shaders.append(shader_result)
+    return result
+
+
+def _run_one(case: ShaderCase, case_index: int, platforms: List[Platform],
+             environments: Dict[str, ShaderExecutionEnvironment],
+             seed: int) -> ShaderResult:
+    from repro.analysis.cycle_analyzer import arm_static_cycles
+
+    compiler = ShaderCompiler(case.source)
+    variant_set = compiler.all_variants()
+
+    shader_result = ShaderResult(
+        name=case.name,
+        family=case.family,
+        loc=lines_of_code(case.source),
+        arm_static_cycles=arm_static_cycles(case.source),
+    )
+
+    # Time the unaltered original on each platform.
+    for platform in platforms:
+        env = environments[platform.name]
+        report = env.run(case.source, seed=_variant_seed(seed, case_index, -1))
+        shader_result.original_times_ns[platform.name] = report.measurement.mean_ns
+
+    # Deterministic variant ordering: by smallest producing flag index.
+    ordered = sorted(variant_set.items(),
+                     key=lambda kv: min(f.index for f in kv[1]))
+    for variant_id, (text, combos) in enumerate(ordered):
+        record = VariantRecord(
+            variant_id=variant_id,
+            flag_indices=sorted(f.index for f in combos),
+            text_hash=hashlib.sha256(text.encode()).hexdigest()[:16],
+        )
+        for platform in platforms:
+            env = environments[platform.name]
+            report = env.run(text, seed=_variant_seed(seed, case_index,
+                                                      variant_id))
+            record.times_ns[platform.name] = report.measurement.mean_ns
+            record.static_ops[platform.name] = report.cost.static_ops
+            record.registers[platform.name] = report.cost.registers
+        shader_result.variants.append(record)
+    return shader_result
+
+
+def _variant_seed(seed: int, case_index: int, variant_id: int) -> int:
+    return seed * 7_919 + case_index * 257 + (variant_id + 2)

@@ -1,0 +1,88 @@
+"""Default uniform initialisation via shader introspection.
+
+Paper Section IV-B: "we used shader introspection to ascertain types and
+sizes for all uniform inputs.  The framework then initialised them
+automatically to default values (e.g. 0.5 for floats, or a
+colourfully-patterned opaque power-of-two image for texture bindings)."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.glsl import types as T
+from repro.glsl.introspect import ShaderInterface
+from repro.ir.textures import ProceduralTexture
+
+_FLOAT_DEFAULT = 0.5
+_INT_DEFAULT = 1
+
+
+def default_scalar(kind: T.ScalarKind):
+    if kind == T.ScalarKind.FLOAT:
+        return _FLOAT_DEFAULT
+    if kind == T.ScalarKind.BOOL:
+        return True
+    return _INT_DEFAULT
+
+
+def default_value(ty: T.GLSLType):
+    """Default runtime value for one uniform of GLSL type *ty*."""
+    if isinstance(ty, T.Scalar):
+        return default_scalar(ty.kind)
+    if isinstance(ty, T.Vector):
+        return tuple(default_scalar(ty.kind) for _ in range(ty.size))
+    if isinstance(ty, T.Matrix):
+        # Scaled identity keeps matrix-heavy shaders numerically tame.
+        return tuple(
+            tuple(_FLOAT_DEFAULT if row == col else 0.0 for row in range(ty.size))
+            for col in range(ty.size)
+        )
+    if isinstance(ty, T.Array):
+        return [default_value(ty.element) for _ in range(ty.length or 1)]
+    raise ValueError(f"no default for uniform type {ty}")
+
+
+def default_uniform_values(interface: ShaderInterface) -> Dict[str, object]:
+    """Values for every non-sampler uniform."""
+    values: Dict[str, object] = {}
+    for var in interface.uniforms:
+        if var.is_sampler:
+            continue
+        values[var.name] = default_value(var.ty)
+    return values
+
+
+def default_textures(interface: ShaderInterface) -> Dict[str, ProceduralTexture]:
+    """A distinct procedural pattern per texture binding."""
+    textures: Dict[str, ProceduralTexture] = {}
+    for index, var in enumerate(interface.samplers):
+        textures[var.name] = ProceduralTexture(seed=index + 1)
+    return textures
+
+
+def fragment_inputs(interface: ShaderInterface,
+                    position: Tuple[float, float]) -> Dict[str, object]:
+    """Per-fragment values for stage inputs.
+
+    A ``vec2`` input is assumed to be a texture coordinate and receives the
+    fragment's normalized position; wider inputs get position-derived data;
+    scalars get the default 0.5.  This mirrors the harness's full-screen quad
+    with auto-generated vertex shaders: varyings interpolate screen-space
+    coordinates.
+    """
+    x, y = position
+    values: Dict[str, object] = {}
+    for var in interface.inputs:
+        ty = var.ty
+        if isinstance(ty, T.Vector) and ty.kind == T.ScalarKind.FLOAT:
+            full = (x, y, 0.5, 1.0)
+            values[var.name] = full[: ty.size]
+        elif isinstance(ty, T.Scalar):
+            values[var.name] = default_scalar(ty.kind)
+        elif isinstance(ty, T.Vector):
+            values[var.name] = tuple(default_scalar(ty.kind)
+                                     for _ in range(ty.size))
+        else:
+            values[var.name] = default_value(ty)
+    return values

@@ -1,0 +1,56 @@
+"""Auto-generation of matching vertex shaders (paper Section IV-B).
+
+"Instead of using GFXBench's vertex shaders, we automatically generate
+simplified ones based on the fragment shader's inputs" — a full-screen
+triangle whose varyings cover every fragment input, with a uniform for depth
+adjustment.  The generated source parses with this package's own frontend
+(tests rely on that), and the harness charges its 3 vertex invocations per
+draw as negligible against 250 000 fragment invocations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.glsl import types as T
+from repro.glsl.introspect import ShaderInterface
+
+
+def generate_vertex_shader(interface: ShaderInterface) -> str:
+    """GLSL vertex shader whose outputs match the fragment inputs."""
+    lines: List[str] = [
+        "in vec2 a_position;",
+        "uniform float u_depth;",
+        "out vec4 gl_Position;",
+    ]
+    body: List[str] = [
+        "    vec2 ndc = a_position * 2.0 - 1.0;",
+        "    gl_Position = vec4(ndc.x, ndc.y, u_depth, 1.0);",
+    ]
+    for var in interface.inputs:
+        ty = var.ty
+        lines.append(f"out {ty} {var.name};")
+        if isinstance(ty, T.Vector) and ty.kind == T.ScalarKind.FLOAT:
+            source = {2: "a_position",
+                      3: "vec3(a_position, u_depth)",
+                      4: "vec4(a_position, u_depth, 1.0)"}[ty.size]
+            body.append(f"    {var.name} = {source};")
+        elif isinstance(ty, T.Scalar) and ty.kind == T.ScalarKind.FLOAT:
+            body.append(f"    {var.name} = a_position.x;")
+        elif isinstance(ty, T.Scalar):
+            body.append(f"    {var.name} = {_zero_of(ty)};")
+        else:
+            body.append(f"    {var.name} = {_zero_of(ty)};")
+    out = lines + ["", "void main()", "{"] + body + ["}"]
+    return "\n".join(out) + "\n"
+
+
+def _zero_of(ty: T.GLSLType) -> str:
+    if isinstance(ty, T.Scalar):
+        return {"float": "0.0", "int": "0", "uint": "0",
+                "bool": "false"}[ty.kind.value]
+    if isinstance(ty, T.Vector):
+        inner = {"float": "0.0", "int": "0", "uint": "0",
+                 "bool": "false"}[ty.kind.value]
+        return f"{ty}({inner})"
+    return f"{ty}(0.0)"

@@ -1,0 +1,25 @@
+"""SSA intermediate representation modelled on the LLVM 3.4 core LunarGlass used.
+
+Pipeline: :func:`repro.ir.lowering.lower_shader` turns a parsed GLSL AST into
+a :class:`repro.ir.module.Module` (one inlined ``main`` function), after which
+:func:`repro.ir.mem2reg.promote_to_ssa` rewrites scalar/vector local slots
+into SSA form with phi nodes.  Passes operate on the module;
+:func:`repro.ir.glsl_backend.emit_glsl` re-emits GLSL source (reproducing
+LunarGlass's source-to-source artifacts), and :mod:`repro.ir.interp` provides
+a reference interpreter used to check that optimizations preserve semantics.
+"""
+
+from repro.ir.types import IRType, FLOAT, INT, BOOL, vec
+from repro.ir.module import Module, Function, BasicBlock
+from repro.ir.lowering import lower_shader
+from repro.ir.mem2reg import promote_to_ssa
+from repro.ir.verify import verify_function
+from repro.ir.glsl_backend import emit_glsl
+from repro.ir.interp import Interpreter
+
+__all__ = [
+    "IRType", "FLOAT", "INT", "BOOL", "vec",
+    "Module", "Function", "BasicBlock",
+    "lower_shader", "promote_to_ssa", "verify_function", "emit_glsl",
+    "Interpreter",
+]

@@ -1,0 +1,126 @@
+"""A thin convenience wrapper for appending instructions to a growing CFG."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import IRError
+from repro.ir.instructions import (
+    BinOp, Br, Call, Cmp, CondBr, Construct, Convert, Discard, ExtractElem,
+    InsertElem, Instr, LoadElem, LoadGlobal, LoadVar, Phi, Ret, Sample, Select,
+    Shuffle, StoreElem, StoreOutput, StoreVar, UnOp,
+)
+from repro.ir.module import BasicBlock, Function
+from repro.ir.types import IRType
+from repro.ir.values import Constant, Slot, Value
+
+
+class IRBuilder:
+    def __init__(self, function: Function):
+        self.function = function
+        self.block: Optional[BasicBlock] = None
+
+    def set_block(self, block: BasicBlock) -> None:
+        self.block = block
+
+    def new_block(self, name: Optional[str] = None) -> BasicBlock:
+        return self.function.add_block(BasicBlock(name))
+
+    @property
+    def terminated(self) -> bool:
+        return self.block is None or self.block.terminator is not None
+
+    def _emit(self, instr: Instr) -> Instr:
+        if self.block is None:
+            raise IRError("builder has no current block")
+        return self.block.append(instr)
+
+    # -- arithmetic -----------------------------------------------------
+    def binop(self, op: str, lhs: Value, rhs: Value) -> Value:
+        return self._emit(BinOp(op, lhs, rhs))
+
+    def cmp(self, op: str, lhs: Value, rhs: Value) -> Value:
+        return self._emit(Cmp(op, lhs, rhs))
+
+    def unop(self, op: str, operand: Value) -> Value:
+        return self._emit(UnOp(op, operand))
+
+    def convert(self, value: Value, to_kind: str) -> Value:
+        if value.ty.kind == to_kind:
+            return value
+        return self._emit(Convert(value, to_kind))
+
+    def select(self, cond: Value, if_true: Value, if_false: Value) -> Value:
+        return self._emit(Select(cond, if_true, if_false))
+
+    # -- vectors ----------------------------------------------------------
+    def extract(self, vector: Value, index: int) -> Value:
+        return self._emit(ExtractElem(vector, index))
+
+    def insert(self, vector: Value, scalar: Value, index: int) -> Value:
+        return self._emit(InsertElem(vector, scalar, index))
+
+    def shuffle(self, source: Value, mask: Sequence[int]) -> Value:
+        return self._emit(Shuffle(source, mask))
+
+    def construct(self, ty: IRType, scalars: Sequence[Value]) -> Value:
+        return self._emit(Construct(ty, scalars))
+
+    def splat(self, scalar: Value, width: int) -> Value:
+        """The 'unnecessary vectorization' artifact: scalar -> vector."""
+        if width == 1:
+            return scalar
+        ty = IRType(scalar.ty.kind, width)
+        if isinstance(scalar, Constant):
+            return Constant.splat(ty, scalar.value)
+        return self.construct(ty, [scalar] * width)
+
+    # -- memory / globals -------------------------------------------------
+    def load_var(self, slot: Slot) -> Value:
+        return self._emit(LoadVar(slot))
+
+    def store_var(self, slot: Slot, value: Value) -> None:
+        slot.is_mutated = True
+        self._emit(StoreVar(slot, value))
+
+    def load_elem(self, slot: Slot, index: Value) -> Value:
+        return self._emit(LoadElem(slot, index))
+
+    def store_elem(self, slot: Slot, index: Value, value: Value) -> None:
+        slot.is_mutated = True
+        self._emit(StoreElem(slot, index, value))
+
+    def load_global(self, var: str, ty: IRType, kind: str,
+                    column: Optional[int] = None,
+                    element: Optional[Value] = None) -> Value:
+        return self._emit(LoadGlobal(var, ty, kind, column=column, element=element))
+
+    def store_output(self, var: str, value: Value) -> None:
+        self._emit(StoreOutput(var, value))
+
+    def call(self, callee: str, ty: IRType, args: Sequence[Value]) -> Value:
+        return self._emit(Call(callee, ty, args))
+
+    def sample(self, sampler: str, sampler_kind: str, ty: IRType,
+               coord: Value, lod: Optional[Value] = None) -> Value:
+        return self._emit(Sample(sampler, sampler_kind, ty, coord, lod))
+
+    def phi(self, ty: IRType) -> Phi:
+        if self.block is None:
+            raise IRError("builder has no current block")
+        phi = Phi(ty)
+        self.block.insert_at_front(phi)
+        return phi
+
+    # -- terminators --------------------------------------------------------
+    def br(self, target: BasicBlock) -> None:
+        self._emit(Br(target))
+
+    def cond_br(self, cond: Value, if_true: BasicBlock, if_false: BasicBlock) -> None:
+        self._emit(CondBr(cond, if_true, if_false))
+
+    def ret(self) -> None:
+        self._emit(Ret())
+
+    def discard(self) -> None:
+        self._emit(Discard())

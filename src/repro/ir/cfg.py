@@ -1,0 +1,220 @@
+"""CFG analyses: orderings, dominators, dominance frontiers, natural loops.
+
+Dominators use the Cooper–Harvey–Kennedy iterative algorithm on the reverse
+postorder; post-dominators run the same algorithm on the reversed CFG (all
+our CFGs have a single exit block after lowering, enforced by the verifier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.errors import IRError
+from repro.ir.module import BasicBlock, Function
+
+
+def reverse_postorder(function: Function) -> List[BasicBlock]:
+    visited: Set[BasicBlock] = set()
+    order: List[BasicBlock] = []
+
+    def visit(block: BasicBlock) -> None:
+        stack = [(block, iter(block.successors()))]
+        visited.add(block)
+        while stack:
+            current, succs = stack[-1]
+            advanced = False
+            for succ in succs:
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, iter(succ.successors())))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(current)
+                stack.pop()
+
+    visit(function.entry)
+    return list(reversed(order))
+
+
+def compute_dominators(function: Function) -> Dict[BasicBlock, Optional[BasicBlock]]:
+    """Immediate dominators; entry maps to None."""
+    order = reverse_postorder(function)
+    index = {b: i for i, b in enumerate(order)}
+    preds = function.predecessors()
+    idom: Dict[BasicBlock, Optional[BasicBlock]] = {order[0]: order[0]}
+
+    def intersect(a: BasicBlock, b: BasicBlock) -> BasicBlock:
+        while a is not b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for block in order[1:]:
+            candidates = [p for p in preds[block] if p in idom and p in index]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for other in candidates[1:]:
+                new_idom = intersect(new_idom, other)
+            if idom.get(block) is not new_idom:
+                idom[block] = new_idom
+                changed = True
+
+    result: Dict[BasicBlock, Optional[BasicBlock]] = {}
+    for block in order:
+        result[block] = None if block is order[0] else idom[block]
+    return result
+
+
+def dominates(idom: Dict[BasicBlock, Optional[BasicBlock]],
+              a: BasicBlock, b: BasicBlock) -> bool:
+    """True when *a* dominates *b* (reflexive)."""
+    node: Optional[BasicBlock] = b
+    while node is not None:
+        if node is a:
+            return True
+        node = idom.get(node)
+    return False
+
+
+def dominance_frontiers(
+    function: Function, idom: Dict[BasicBlock, Optional[BasicBlock]]
+) -> Dict[BasicBlock, Set[BasicBlock]]:
+    frontiers: Dict[BasicBlock, Set[BasicBlock]] = {b: set() for b in function.blocks}
+    preds = function.predecessors()
+    for block in function.blocks:
+        if len(preds[block]) < 2:
+            continue
+        for pred in preds[block]:
+            runner: Optional[BasicBlock] = pred
+            while runner is not None and runner is not idom[block]:
+                frontiers[runner].add(block)
+                runner = idom[runner]
+    return frontiers
+
+
+def compute_postdominators(function: Function) -> Dict[BasicBlock, Optional[BasicBlock]]:
+    """Immediate post-dominators, via dominators of the reversed CFG.
+
+    Requires a unique exit (a block whose terminator has no successors).
+    Blocks ending in Discard also count as exits; they are attached to the
+    virtual exit.
+    """
+    exits = [b for b in function.blocks if not b.successors()]
+    if not exits:
+        raise IRError("function has no exit block")
+
+    # Build reversed adjacency with a virtual root connecting all exits.
+    succs_rev: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in function.blocks}
+    preds_rev: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in function.blocks}
+    for block in function.blocks:
+        for succ in block.successors():
+            succs_rev[succ].append(block)
+            preds_rev[block].append(succ)
+
+    virtual = BasicBlock("__virtual_exit")
+    all_nodes = [virtual] + function.blocks
+    succs_rev[virtual] = list(exits)
+    preds_rev[virtual] = []
+    for block in exits:
+        preds_rev[block] = preds_rev.get(block, []) + [virtual]
+
+    # Reverse postorder on the reversed graph from the virtual root.
+    visited: Set[BasicBlock] = set()
+    order: List[BasicBlock] = []
+    stack = [(virtual, iter(succs_rev[virtual]))]
+    visited.add(virtual)
+    while stack:
+        current, it = stack[-1]
+        advanced = False
+        for nxt in it:
+            if nxt not in visited:
+                visited.add(nxt)
+                stack.append((nxt, iter(succs_rev[nxt])))
+                advanced = True
+                break
+        if not advanced:
+            order.append(current)
+            stack.pop()
+    order.reverse()
+
+    index = {b: i for i, b in enumerate(order)}
+    ipdom: Dict[BasicBlock, Optional[BasicBlock]] = {virtual: virtual}
+
+    def intersect(a: BasicBlock, b: BasicBlock) -> BasicBlock:
+        while a is not b:
+            while index[a] > index[b]:
+                a = ipdom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = ipdom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for block in order[1:]:
+            candidates = [p for p in preds_rev[block] if p in ipdom and p in index]
+            if not candidates:
+                continue
+            new = candidates[0]
+            for other in candidates[1:]:
+                new = intersect(new, other)
+            if ipdom.get(block) is not new:
+                ipdom[block] = new
+                changed = True
+
+    result: Dict[BasicBlock, Optional[BasicBlock]] = {}
+    for block in function.blocks:
+        pd = ipdom.get(block)
+        result[block] = None if pd is virtual or pd is None else pd
+    return result
+
+
+@dataclass
+class NaturalLoop:
+    header: BasicBlock
+    latches: List[BasicBlock]
+    blocks: Set[BasicBlock] = field(default_factory=set)
+
+    @property
+    def latch(self) -> BasicBlock:
+        if len(self.latches) != 1:
+            raise IRError("loop has multiple latches")
+        return self.latches[0]
+
+    def exits(self) -> List[BasicBlock]:
+        out = []
+        for block in self.blocks:
+            for succ in block.successors():
+                if succ not in self.blocks and succ not in out:
+                    out.append(succ)
+        return out
+
+
+def find_natural_loops(function: Function) -> List[NaturalLoop]:
+    """Back edges (tail -> header where header dominates tail) and their bodies."""
+    idom = compute_dominators(function)
+    loops: Dict[BasicBlock, NaturalLoop] = {}
+    for block in function.blocks:
+        for succ in block.successors():
+            if dominates(idom, succ, block):
+                loop = loops.setdefault(succ, NaturalLoop(header=succ, latches=[]))
+                loop.latches.append(block)
+                # Collect the loop body by walking predecessors from the latch.
+                loop.blocks.add(succ)
+                stack = [block]
+                preds = function.predecessors()
+                while stack:
+                    node = stack.pop()
+                    if node in loop.blocks:
+                        continue
+                    loop.blocks.add(node)
+                    stack.extend(preds[node])
+    return list(loops.values())

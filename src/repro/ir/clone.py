@@ -1,0 +1,124 @@
+"""Deep-copy a Function/Module (used to run 256 flag combinations off one
+parse+lower instead of re-running the frontend per combination)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.instructions import (
+    BinOp, Br, Call, Cmp, CondBr, Construct, Convert, Discard, ExtractElem,
+    InsertElem, Instr, LoadElem, LoadGlobal, LoadVar, Phi, Ret, Sample, Select,
+    Shuffle, StoreElem, StoreOutput, StoreVar, UnOp,
+)
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import Slot, Value
+
+
+def clone_module(module: Module) -> Module:
+    return Module(clone_function(module.function), module.interface,
+                  module.version)
+
+
+def clone_function(function: Function) -> Function:
+    new_fn = Function(function.name)
+    block_map: Dict[BasicBlock, BasicBlock] = {}
+    slot_map: Dict[Slot, Slot] = {}
+    value_map: Dict[Value, Value] = {}
+
+    for slot in function.slots:
+        clone = Slot(slot.name, slot.ty, slot.array_length)
+        clone.const_init = slot.const_init
+        clone.is_mutated = slot.is_mutated
+        slot_map[slot] = clone
+        new_fn.slots.append(clone)
+
+    function.remove_unreachable_blocks()
+    for block in function.blocks:
+        block_map[block] = new_fn.add_block(BasicBlock(block.name))
+
+    # Pre-create phi shells (they may be used across back edges), then clone
+    # the straight-line instructions in reverse postorder so every non-phi
+    # definition is cloned before its uses (the RPO property of reducible
+    # CFGs: dominators precede the blocks they dominate).
+    from repro.ir.cfg import reverse_postorder
+
+    phis: Dict[Phi, Phi] = {}
+    for block in function.blocks:
+        new_block = block_map[block]
+        for instr in block.instrs:
+            if isinstance(instr, Phi):
+                new_phi = Phi(instr.ty)
+                new_block.instrs.append(new_phi)
+                new_phi.block = new_block
+                phis[instr] = new_phi
+                value_map[instr] = new_phi
+
+    for block in reverse_postorder(function):
+        new_block = block_map[block]
+        for instr in block.instrs:
+            if isinstance(instr, Phi):
+                continue
+            new_instr = _clone(instr, value_map, block_map, slot_map)
+            new_block.instrs.append(new_instr)
+            new_instr.block = new_block
+            value_map[instr] = new_instr
+
+    for old_phi, new_phi in phis.items():
+        for pred, value in old_phi.incoming:
+            new_phi.add_incoming(block_map[pred], value_map.get(value, value))
+
+    return new_fn
+
+
+def _clone(instr: Instr, vm: Dict[Value, Value],
+           bm: Dict[BasicBlock, BasicBlock], sm: Dict[Slot, Slot]) -> Instr:
+    def m(value: Value) -> Value:
+        return vm.get(value, value)
+
+    if isinstance(instr, BinOp):
+        return BinOp(instr.op, m(instr.lhs), m(instr.rhs))
+    if isinstance(instr, Cmp):
+        return Cmp(instr.op, m(instr.lhs), m(instr.rhs))
+    if isinstance(instr, UnOp):
+        return UnOp(instr.op, m(instr.operand))
+    if isinstance(instr, Convert):
+        return Convert(m(instr.value), instr.ty.kind)
+    if isinstance(instr, Select):
+        return Select(m(instr.cond), m(instr.if_true), m(instr.if_false))
+    if isinstance(instr, ExtractElem):
+        return ExtractElem(m(instr.vector), instr.index)
+    if isinstance(instr, InsertElem):
+        return InsertElem(m(instr.vector), m(instr.scalar), instr.index)
+    if isinstance(instr, Shuffle):
+        return Shuffle(m(instr.source), list(instr.mask))
+    if isinstance(instr, Construct):
+        return Construct(instr.ty, [m(op) for op in instr.operands])
+    if isinstance(instr, Call):
+        return Call(instr.callee, instr.ty, [m(op) for op in instr.operands])
+    if isinstance(instr, Sample):
+        lod = m(instr.lod) if instr.lod is not None else None
+        return Sample(instr.sampler, instr.sampler_kind, instr.ty,
+                      m(instr.coord), lod)
+    if isinstance(instr, LoadGlobal):
+        element = m(instr.element) if instr.element is not None else None
+        return LoadGlobal(instr.var, instr.ty, instr.kind,
+                          column=instr.column, element=element)
+    if isinstance(instr, StoreOutput):
+        return StoreOutput(instr.var, m(instr.value))
+    if isinstance(instr, LoadVar):
+        return LoadVar(sm[instr.slot])
+    if isinstance(instr, StoreVar):
+        return StoreVar(sm[instr.slot], m(instr.value))
+    if isinstance(instr, LoadElem):
+        return LoadElem(sm[instr.slot], m(instr.index))
+    if isinstance(instr, StoreElem):
+        return StoreElem(sm[instr.slot], m(instr.index), m(instr.value))
+    if isinstance(instr, Br):
+        return Br(bm[instr.target])
+    if isinstance(instr, CondBr):
+        return CondBr(m(instr.cond), bm[instr.if_true], bm[instr.if_false])
+    if isinstance(instr, Ret):
+        return Ret()
+    if isinstance(instr, Discard):
+        return Discard()
+    raise AssertionError(f"cannot clone {instr.opcode}")

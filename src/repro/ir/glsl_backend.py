@@ -1,0 +1,446 @@
+"""IR -> GLSL source emission (the LunarGlass "back end").
+
+The emitted code deliberately looks like LunarGlass output, not like the
+original shader: every instruction becomes its own temporary assignment, all
+matrix math arrives pre-scalarized, scalars that were multiplied with vectors
+appear as explicit ``vecN(s)`` splats, and unrolled/flattened control flow
+shows up as huge straight-line blocks.  Those are precisely the compilation
+artifacts Section III-C of the paper discusses.
+
+Control-flow restructuring relies on the CFG staying reducible (lowering only
+creates structured CFGs and no pass introduces irreducibility): conditionals
+re-emit via immediate post-dominators, natural loops via a
+``while (true) { ...; if (!cond) break; ... }`` skeleton with phi variables
+assigned along their incoming edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.errors import BackendError
+from repro.glsl.printer import format_float
+from repro.ir.cfg import NaturalLoop, compute_postdominators, find_natural_loops
+from repro.ir.instructions import (
+    BinOp, Br, Call, Cmp, CondBr, Construct, Convert, Discard, ExtractElem,
+    InsertElem, Instr, LoadElem, LoadGlobal, LoadVar, Phi, Ret, Sample, Select,
+    Shuffle, StoreElem, StoreOutput, StoreVar, Terminator, UnOp,
+)
+from repro.ir.module import BasicBlock, Module
+from repro.ir.types import IRType
+from repro.ir.values import Constant, Slot, Undef, Value
+
+_BIN_SYMBOL = {"add": "+", "sub": "-", "mul": "*", "div": "/", "mod": "%",
+               "and": "&&", "or": "||", "xor": "^^"}
+_CMP_SYMBOL = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+_LANES = "xyzw"
+
+
+def emit_glsl(module: Module, es: bool = False) -> str:
+    """Emit GLSL source for *module*.
+
+    ``es`` selects the mobile (OpenGL ES) dialect the paper produced via
+    glslang + SPIRV-Cross: an ES version header and precision qualifiers.
+    """
+    return _Emitter(module, es).emit()
+
+
+class _Emitter:
+    def __init__(self, module: Module, es: bool):
+        self.module = module
+        self.es = es
+        self.function = module.function
+        self.lines: List[str] = []
+        self.indent = 0
+        self.names: Dict[Value, str] = {}
+        self.counter = 0
+        self.phi_vars: Dict[Phi, str] = {}
+        self.loops: Dict[BasicBlock, NaturalLoop] = {}
+        self.ipdom: Dict[BasicBlock, Optional[BasicBlock]] = {}
+        # Stack of (loop, canonical-exit-block) for break/continue emission.
+        self.loop_stack: List[tuple] = []
+        self.emitted_blocks: Set[BasicBlock] = set()
+
+    # ------------------------------------------------------------------
+
+    def emit(self) -> str:
+        self.function.remove_unreachable_blocks()
+        for loop in find_natural_loops(self.function):
+            self.loops[loop.header] = loop
+        self.ipdom = compute_postdominators(self.function)
+
+        if self.es:
+            self.lines.append("#version 310 es")
+            self.lines.append("precision highp float;")
+            self.lines.append("precision highp int;")
+        else:
+            self.lines.append(f"#version {self.module.version or '450'}")
+        for var in self.module.interface.uniforms:
+            self.lines.append(f"uniform {_glsl_ty(var.ty)} {var.name}{_arr(var.ty)};")
+        for var in self.module.interface.inputs:
+            self.lines.append(f"in {_glsl_ty(var.ty)} {var.name}{_arr(var.ty)};")
+        for var in self.module.interface.outputs:
+            self.lines.append(f"out {_glsl_ty(var.ty)} {var.name}{_arr(var.ty)};")
+        self.lines.append("void main()")
+        self.lines.append("{")
+        self.indent = 1
+
+        self._declare_phis()
+        self._declare_arrays()
+        self._emit_region(self.function.entry, None)
+
+        self.lines.append("}")
+        return "\n".join(self.lines) + "\n"
+
+    def _declare_phis(self) -> None:
+        for block in self.function.blocks:
+            for phi in block.phis():
+                name = f"p{len(self.phi_vars)}"
+                self.phi_vars[phi] = name
+                self.names[phi] = name
+                self._line(f"{phi.ty.glsl_name()} {name} = {_zero(phi.ty)};")
+
+    def _declare_arrays(self) -> None:
+        for slot in self.function.slots:
+            if not slot.is_array:
+                continue
+            base = slot.ty.glsl_name()
+            name = _sanitize(slot.name)
+            if slot.const_init is not None:
+                elems = ", ".join(self._const(c) for c in slot.const_init)
+                self._line(f"const {base} {name}[{len(slot.const_init)}] = "
+                           f"{base}[]({elems});")
+            else:
+                self._line(f"{base} {name}[{slot.array_length}];")
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+
+    def _emit_region(self, block: Optional[BasicBlock],
+                     stop: Optional[BasicBlock]) -> None:
+        while block is not None and block is not stop:
+            if block in self.loops and block not in self.emitted_blocks:
+                block = self._emit_loop(self.loops[block], stop)
+                continue
+            self.emitted_blocks.add(block)
+            self._emit_block_body(block)
+            term = block.terminator
+            if term is None:
+                raise BackendError(f"block {block.name} lacks a terminator")
+            block = self._emit_terminator(block, term, stop)
+
+    def _emit_block_body(self, block: BasicBlock) -> None:
+        for instr in block.non_phi_instrs():
+            if isinstance(instr, Terminator):
+                continue
+            self._emit_instr(instr)
+
+    def _emit_terminator(self, block: BasicBlock, term: Terminator,
+                         stop: Optional[BasicBlock]) -> Optional[BasicBlock]:
+        if isinstance(term, Ret):
+            self._line("return;")
+            return None
+        if isinstance(term, Discard):
+            self._line("discard;")
+            return None
+        if isinstance(term, Br):
+            return self._emit_goto(block, term.target, stop)
+        if isinstance(term, CondBr):
+            return self._emit_condbr(block, term, stop)
+        raise BackendError(f"unknown terminator {term.opcode}")
+
+    def _emit_goto(self, block: BasicBlock, target: BasicBlock,
+                   stop: Optional[BasicBlock]) -> Optional[BasicBlock]:
+        """Handle an unconditional edge; may emit continue/break."""
+        self._emit_phi_moves(block, target)
+        if self.loop_stack:
+            loop, after = self.loop_stack[-1]
+            if target is loop.header:
+                self._line("continue;")
+                return None
+            if target is after:
+                self._line("break;")
+                return None
+        if target is stop:
+            return None
+        return target
+
+    def _emit_condbr(self, block: BasicBlock, term: CondBr,
+                     stop: Optional[BasicBlock]) -> Optional[BasicBlock]:
+        cond = self._use(term.cond)
+        loop = self.loop_stack[-1][0] if self.loop_stack else None
+
+        # Divergent branch inside a loop: one arm leaves the loop (break /
+        # return paths) or jumps straight back to the header (continue).  Emit
+        # that arm as an else-less `if` whose region ends in break/continue,
+        # then keep walking the other arm.
+        if loop is not None:
+            for polarity, taken, other in ((True, term.if_true, term.if_false),
+                                           (False, term.if_false, term.if_true)):
+                diverges = taken is loop.header or taken not in loop.blocks
+                other_stays = other is not loop.header and other in loop.blocks
+                if diverges and other_stays:
+                    guard = cond if polarity else f"!({cond})"
+                    self._line(f"if ({guard})")
+                    self._line("{")
+                    self.indent += 1
+                    if taken is loop.header:
+                        self._emit_phi_moves(block, taken)
+                        self._line("continue;")
+                    else:
+                        next_block = self._emit_goto(block, taken, stop)
+                        if next_block is not None:
+                            self._emit_region(next_block, stop)
+                    self.indent -= 1
+                    self._line("}")
+                    return self._emit_goto(block, other, stop)
+
+        merge = self.ipdom.get(block)
+        if self.loop_stack and merge is self.loop_stack[-1][0].header:
+            merge = None
+        self._line(f"if ({cond})")
+        self._line("{")
+        self.indent += 1
+        self._emit_phi_moves(block, term.if_true)
+        if term.if_true is not merge:
+            self._emit_region(term.if_true, merge)
+        self.indent -= 1
+        self._line("}")
+        needs_else = (term.if_false is not merge or
+                      _has_phi_moves(block, term.if_false, self.phi_vars))
+        if needs_else:
+            self._line("else")
+            self._line("{")
+            self.indent += 1
+            self._emit_phi_moves(block, term.if_false)
+            if term.if_false is not merge:
+                self._emit_region(term.if_false, merge)
+            self.indent -= 1
+            self._line("}")
+        if merge is None:
+            return None
+        return merge
+
+    def _emit_loop(self, loop: NaturalLoop,
+                   stop: Optional[BasicBlock]) -> Optional[BasicBlock]:
+        header = loop.header
+        self.emitted_blocks.add(header)
+        # The canonical exit ("after") is the structural loop end: the
+        # header's out-of-loop branch target when it has one, else the first
+        # exit edge target (while(true) loops that only leave via break).
+        after: Optional[BasicBlock] = None
+        header_term = header.terminator
+        if isinstance(header_term, CondBr):
+            for target in (header_term.if_false, header_term.if_true):
+                if target not in loop.blocks:
+                    after = target
+                    break
+        if after is None:
+            exits = loop.exits()
+            after = exits[0] if exits else None
+
+        self.loop_stack.append((loop, after))
+        self._line("while (true)")
+        self._line("{")
+        self.indent += 1
+
+        # Header body (condition computation), then the guarded break.
+        self._emit_block_body(header)
+        term = header.terminator
+        body_entry: Optional[BasicBlock] = None
+        if isinstance(term, CondBr):
+            in_true = term.if_true in loop.blocks
+            in_false = term.if_false in loop.blocks
+            cond = self._use(term.cond)
+            if in_true and not in_false:
+                self._line(f"if (!({cond}))")
+                self._line("{")
+                self.indent += 1
+                self._emit_phi_moves(header, term.if_false)
+                self._line("break;")
+                self.indent -= 1
+                self._line("}")
+                self._emit_phi_moves(header, term.if_true)
+                body_entry = term.if_true
+            elif in_false and not in_true:
+                self._line(f"if ({cond})")
+                self._line("{")
+                self.indent += 1
+                self._emit_phi_moves(header, term.if_true)
+                self._line("break;")
+                self.indent -= 1
+                self._line("}")
+                self._emit_phi_moves(header, term.if_false)
+                body_entry = term.if_false
+            else:
+                raise BackendError("loop header branches to two in-loop targets")
+        elif isinstance(term, Br):
+            self._emit_phi_moves(header, term.target)
+            body_entry = term.target
+        else:
+            raise BackendError("loop header has no branch")
+
+        if body_entry is not None and body_entry is not header:
+            self._emit_region(body_entry, header)
+        # Falling off the region end means the backedge was taken implicitly.
+        self.indent -= 1
+        self._line("}")
+        self.loop_stack.pop()
+        if after is stop:
+            return None
+        return after
+
+    def _emit_phi_moves(self, pred: BasicBlock, succ: BasicBlock) -> None:
+        for phi in succ.phis():
+            for block, value in phi.incoming:
+                if block is pred:
+                    self._line(f"{self.phi_vars[phi]} = {self._use(value)};")
+
+    # ------------------------------------------------------------------
+    # Instructions
+    # ------------------------------------------------------------------
+
+    def _emit_instr(self, instr: Instr) -> None:
+        if isinstance(instr, StoreOutput):
+            self._line(f"{instr.var} = {self._use(instr.value)};")
+            return
+        if isinstance(instr, StoreElem):
+            self._line(f"{_sanitize(instr.slot.name)}[{self._use(instr.index)}]"
+                       f" = {self._use(instr.value)};")
+            return
+        if isinstance(instr, StoreVar):
+            # Slots surviving to emission (arrays are separate): materialize
+            # as plain variables.
+            self._line(f"{_sanitize(instr.slot.name)} = {self._use(instr.value)};")
+            return
+        if isinstance(instr, InsertElem):
+            name = self._fresh(instr)
+            ty = instr.ty.glsl_name()
+            self._line(f"{ty} {name} = {self._use(instr.vector)};")
+            self._line(f"{name}.{_LANES[instr.index]} = {self._use(instr.scalar)};")
+            return
+        text = self._expr(instr)
+        name = self._fresh(instr)
+        self._line(f"{instr.ty.glsl_name()} {name} = {text};")
+
+    def _expr(self, instr: Instr) -> str:
+        if isinstance(instr, BinOp):
+            return (f"{self._use(instr.lhs)} {_BIN_SYMBOL[instr.op]} "
+                    f"{self._use(instr.rhs)}")
+        if isinstance(instr, Cmp):
+            return (f"{self._use(instr.lhs)} {_CMP_SYMBOL[instr.op]} "
+                    f"{self._use(instr.rhs)}")
+        if isinstance(instr, UnOp):
+            return f"-{self._use(instr.operand)}" if instr.op == "neg" else (
+                f"!{self._use(instr.operand)}")
+        if isinstance(instr, Convert):
+            return f"{instr.ty.glsl_name()}({self._use(instr.value)})"
+        if isinstance(instr, Select):
+            return (f"{self._use(instr.cond)} ? {self._use(instr.if_true)}"
+                    f" : {self._use(instr.if_false)}")
+        if isinstance(instr, ExtractElem):
+            return f"{self._use(instr.vector)}.{_LANES[instr.index]}"
+        if isinstance(instr, Shuffle):
+            lanes = "".join(_LANES[i] for i in instr.mask)
+            return f"{self._use(instr.source)}.{lanes}"
+        if isinstance(instr, Construct):
+            args = ", ".join(self._use(op) for op in instr.operands)
+            return f"{instr.ty.glsl_name()}({args})"
+        if isinstance(instr, Call):
+            args = ", ".join(self._use(op) for op in instr.operands)
+            return f"{instr.callee}({args})"
+        if isinstance(instr, Sample):
+            fn = "textureLod" if instr.lod is not None else "texture"
+            args = [instr.sampler, self._use(instr.coord)]
+            if instr.lod is not None:
+                args.append(self._use(instr.lod))
+            return f"{fn}({', '.join(args)})"
+        if isinstance(instr, LoadGlobal):
+            text = instr.var
+            if instr.column is not None:
+                text += f"[{instr.column}]"
+            if instr.element is not None:
+                text += f"[{self._use(instr.element)}]"
+            return text
+        if isinstance(instr, LoadElem):
+            return f"{_sanitize(instr.slot.name)}[{self._use(instr.index)}]"
+        if isinstance(instr, LoadVar):
+            return _sanitize(instr.slot.name)
+        raise BackendError(f"cannot emit {instr.opcode}")
+
+    # ------------------------------------------------------------------
+    # Values
+    # ------------------------------------------------------------------
+
+    def _fresh(self, value: Value) -> str:
+        name = f"t{self.counter}"
+        self.counter += 1
+        self.names[value] = name
+        return name
+
+    def _use(self, value: Value) -> str:
+        if isinstance(value, Constant):
+            return self._const(value)
+        if isinstance(value, Undef):
+            return _zero(value.ty)
+        name = self.names.get(value)
+        if name is None:
+            raise BackendError(
+                f"value {getattr(value, 'name', value)} used before emission")
+        return name
+
+    def _const(self, const: Constant) -> str:
+        if const.ty.is_vector:
+            comps = const.components()
+            if all(c == comps[0] for c in comps):
+                return f"{const.ty.glsl_name()}({_scalar_text(comps[0], const.ty.kind)})"
+            inner = ", ".join(_scalar_text(c, const.ty.kind) for c in comps)
+            return f"{const.ty.glsl_name()}({inner})"
+        return _scalar_text(const.value, const.ty.kind)
+
+    def _line(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+
+def _scalar_text(value, kind: str) -> str:
+    if kind == "float":
+        return format_float(float(value))
+    if kind == "bool":
+        return "true" if value else "false"
+    return str(int(value))
+
+
+def _zero(ty: IRType) -> str:
+    if ty.is_vector:
+        zero = {"float": "0.0", "int": "0", "bool": "false"}[ty.kind]
+        return f"{ty.glsl_name()}({zero})"
+    return {"float": "0.0", "int": "0", "bool": "false"}[ty.kind]
+
+
+def _sanitize(name: str) -> str:
+    return name.replace(".", "_")
+
+
+def _arr(ty) -> str:
+    from repro.glsl import types as T
+
+    if isinstance(ty, T.Array):
+        return f"[{ty.length}]" if ty.length is not None else "[]"
+    return ""
+
+
+def _glsl_ty(ty) -> str:
+    from repro.glsl import types as T
+
+    if isinstance(ty, T.Array):
+        return str(ty.element)
+    return str(ty)
+
+
+def _has_phi_moves(pred: BasicBlock, succ: BasicBlock, phi_vars) -> bool:
+    for phi in succ.phis():
+        for block, _ in phi.incoming:
+            if block is pred:
+                return True
+    return False

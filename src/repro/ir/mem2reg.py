@@ -1,0 +1,114 @@
+"""Promote scalar/vector slots to SSA registers (classic mem2reg).
+
+Phi placement uses iterated dominance frontiers; renaming walks the dominator
+tree.  Array slots are left in memory (LoadElem/StoreElem) — constant folding
+resolves const-array accesses after unrolling instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.ir.cfg import compute_dominators, dominance_frontiers
+from repro.ir.instructions import LoadVar, Phi, StoreVar
+from repro.ir.module import BasicBlock, Function
+from repro.ir.values import Constant, Slot, Undef, Value
+
+
+def promote_to_ssa(function: Function) -> int:
+    """Promote every non-array slot; returns the number promoted."""
+    function.remove_unreachable_blocks()
+    slots = [s for s in function.slots if not s.is_array]
+    if not slots:
+        return 0
+
+    idom = compute_dominators(function)
+    frontiers = dominance_frontiers(function, idom)
+    preds = function.predecessors()
+
+    # Dominator tree children.
+    children: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in function.blocks}
+    for block in function.blocks:
+        parent = idom[block]
+        if parent is not None:
+            children[parent].append(block)
+
+    # Phi placement.
+    phi_for: Dict[Phi, Slot] = {}
+    for slot in slots:
+        def_blocks = {
+            instr.block
+            for instr in function.instructions()
+            if isinstance(instr, StoreVar) and instr.slot is slot and instr.block
+        }
+        worklist = list(def_blocks)
+        placed = set()
+        while worklist:
+            block = worklist.pop()
+            for frontier_block in frontiers[block]:
+                if frontier_block in placed:
+                    continue
+                placed.add(frontier_block)
+                phi = Phi(slot.ty)
+                frontier_block.insert_at_front(phi)
+                phi_for[phi] = slot
+                if frontier_block not in def_blocks:
+                    worklist.append(frontier_block)
+
+    # Renaming.
+    stacks: Dict[Slot, List[Value]] = {slot: [] for slot in slots}
+
+    def current(slot: Slot) -> Value:
+        if stacks[slot]:
+            return stacks[slot][-1]
+        # Reading before any write: undef (GLSL leaves it undefined; a zero
+        # would hide bugs, Undef keeps them visible in the verifier).
+        return Undef(slot.ty)
+
+    def rename(block: BasicBlock) -> None:
+        pushed: List[Slot] = []
+        for instr in list(block.instrs):
+            if isinstance(instr, Phi) and instr in phi_for:
+                slot = phi_for[instr]
+                stacks[slot].append(instr)
+                pushed.append(slot)
+            elif isinstance(instr, LoadVar) and instr.slot in stacks:
+                function.replace_all_uses(instr, current(instr.slot))
+                block.remove(instr)
+            elif isinstance(instr, StoreVar) and instr.slot in stacks:
+                stacks[instr.slot].append(instr.value)
+                pushed.append(instr.slot)
+                block.remove(instr)
+        for succ in block.successors():
+            for phi in succ.phis():
+                if phi in phi_for:
+                    phi.add_incoming(block, current(phi_for[phi]))
+        for child in children[block]:
+            rename(child)
+        for slot in pushed:
+            stacks[slot].pop()
+
+    rename(function.entry)
+
+    # Prune trivial phis (single unique incoming value, or self-references).
+    _prune_trivial_phis(function)
+
+    function.slots = [s for s in function.slots if s.is_array]
+    return len(slots)
+
+
+def _prune_trivial_phis(function: Function) -> None:
+    changed = True
+    while changed:
+        changed = False
+        for block in function.blocks:
+            for phi in block.phis():
+                distinct = {v for _, v in phi.incoming if v is not phi}
+                if len(distinct) == 1:
+                    replacement = distinct.pop()
+                    function.replace_all_uses(phi, replacement)
+                    block.remove(phi)
+                    changed = True
+                elif not distinct:
+                    block.remove(phi)
+                    changed = True

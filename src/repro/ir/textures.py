@@ -1,0 +1,47 @@
+"""Procedural texture model shared by the interpreter and the harness.
+
+The paper's harness binds "a colourfully-patterned opaque power-of-two image"
+to every sampler.  We model that with a smooth deterministic RGBA function of
+the (wrapped) texture coordinates, so optimized and unoptimized shaders see
+identical texel values and unsafe-FP reassociation causes only tiny drift.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+TAU = 2.0 * math.pi
+
+
+class ProceduralTexture:
+    """Deterministic RGBA texture: repeat-wrapped, resolution-independent.
+
+    ``seed`` varies the pattern per texture unit so distinct samplers return
+    distinct data (some shaders combine several textures).
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def sample(self, coords: Sequence[float], kind: str = "sampler2D",
+               lod: float = 0.0) -> Tuple[float, float, float, float]:
+        u = _wrap(coords[0] if len(coords) > 0 else 0.0)
+        v = _wrap(coords[1] if len(coords) > 1 else 0.0)
+        w = _wrap(coords[2] if len(coords) > 2 else 0.0)
+        s = float(self.seed)
+        blur = 1.0 / (1.0 + abs(lod))  # higher lods flatten toward grey
+        r = 0.5 + 0.5 * blur * math.sin(TAU * (3.0 * u + 0.13 * s))
+        g = 0.5 + 0.5 * blur * math.cos(TAU * (5.0 * v + 0.29 * s))
+        b = 0.5 + 0.5 * blur * math.sin(TAU * (u + v + w + 0.53 * s))
+        return (r, g, b, 1.0)
+
+    def sample_shadow(self, coords: Sequence[float]) -> float:
+        """Depth-compare result for sampler2DShadow: smooth 0..1."""
+        base = self.sample(coords)
+        reference = _wrap(coords[2] if len(coords) > 2 else 0.5)
+        return 1.0 if base[0] >= reference else 0.0
+
+
+def _wrap(x: float) -> float:
+    return x - math.floor(x)

@@ -1,0 +1,13 @@
+"""LunarGlass-style optimization passes over the SSA IR.
+
+The eight command-line flags from the paper (Section III) map to
+:class:`repro.passes.flags.OptimizationFlags`;
+:func:`repro.passes.manager.run_passes` applies them plus the always-on
+canonical passes (constant folding, local CSE, trivial DCE) in a fixed,
+deterministic order.
+"""
+
+from repro.passes.flags import OptimizationFlags, ALL_FLAG_NAMES, DEFAULT_LUNARGLASS
+from repro.passes.manager import run_passes
+
+__all__ = ["OptimizationFlags", "ALL_FLAG_NAMES", "DEFAULT_LUNARGLASS", "run_passes"]

@@ -1,0 +1,105 @@
+"""The Coalesce flag: turn chains of single-element vector insertions into
+one swizzled/constructed vector assignment.
+
+LunarGlass description: "Change multiple individual vector element insertions
+into a single swizzled vector assignment."  In IR terms: an InsertElem chain
+that fully defines a vector becomes a single Construct; partially-defining
+chains over an existing vector are left alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.ir.instructions import Construct, ExtractElem, InsertElem, Shuffle
+from repro.ir.module import Function
+from repro.ir.values import Constant, Undef, Value
+from repro.passes.trees import insert_before, use_counts
+
+
+def coalesce(function: Function) -> int:
+    changed = 0
+    uses = use_counts(function)
+    for block in function.blocks:
+        for instr in list(block.instrs):
+            if not isinstance(instr, InsertElem) or instr.block is None:
+                continue
+            if _is_chain_tail(instr, uses, function):
+                if _coalesce_chain(function, instr, uses):
+                    changed += 1
+    changed += _construct_to_shuffle(function)
+    return changed
+
+
+def _is_chain_tail(instr: InsertElem, uses, function: Function) -> bool:
+    """True when no other InsertElem continues this chain."""
+    for other in function.instructions():
+        if isinstance(other, InsertElem) and other.vector is instr:
+            return False
+    return True
+
+
+def _coalesce_chain(function: Function, tail: InsertElem, uses) -> bool:
+    width = tail.ty.width
+    lanes: List[Optional[Value]] = [None] * width
+    node: Value = tail
+    # Walk the chain toward its base, honouring later-insert-wins.
+    while isinstance(node, InsertElem):
+        if lanes[node.index] is None:
+            lanes[node.index] = node.scalar
+        if node is not tail and uses.get(id(node), 0) > 1:
+            return False  # intermediate value observed elsewhere
+        node = node.vector
+    base = node
+
+    if any(lane is None for lane in lanes):
+        if isinstance(base, (Undef,)):
+            return False  # partially-defined vector; leave alone
+        if isinstance(base, Constant):
+            comps = base.components()
+            for i in range(width):
+                if lanes[i] is None:
+                    lanes[i] = Constant(base.ty.scalar, comps[i])
+        else:
+            for i in range(width):
+                if lanes[i] is None:
+                    extract = insert_before(tail, ExtractElem(base, i))
+                    lanes[i] = extract
+
+    construct = insert_before(tail, Construct(tail.ty, [v for v in lanes]))  # type: ignore[misc]
+    function.replace_all_uses(tail, construct)
+    if tail.block is not None:
+        tail.block.remove(tail)
+    return True
+
+
+def _construct_to_shuffle(function: Function) -> int:
+    """vecN(v.a, v.b, ...) from one source vector -> a single Shuffle."""
+    changed = 0
+    for block in function.blocks:
+        for instr in list(block.instrs):
+            if not isinstance(instr, Construct):
+                continue
+            sources = []
+            mask = []
+            ok = True
+            for op in instr.operands:
+                if isinstance(op, ExtractElem):
+                    sources.append(op.vector)
+                    mask.append(op.index)
+                else:
+                    ok = False
+                    break
+            if not ok or not sources:
+                continue
+            first = sources[0]
+            if any(s is not first for s in sources):
+                continue
+            if mask == list(range(first.ty.width)) and first.ty == instr.ty:
+                replacement: Value = first
+            else:
+                replacement = insert_before(instr, Shuffle(first, mask))
+            function.replace_all_uses(instr, replacement)
+            block.remove(instr)
+            changed += 1
+    return changed

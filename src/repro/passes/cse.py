@@ -1,0 +1,43 @@
+"""Local (per-block) common sub-expression elimination.
+
+Part of the always-on canonical pipeline ("common sub-expression elimination
+... necessary passes"), deliberately block-local so the GVN *flag* still has
+global work to do, matching LunarGlass's split.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.ir.instructions import LoadElem, LoadVar, StoreElem, StoreVar
+from repro.ir.module import Function
+from repro.passes.keys import instr_key, load_key
+
+
+def local_cse(function: Function) -> int:
+    """Merge structurally identical pure instructions within each block."""
+    merged = 0
+    for block in function.blocks:
+        table: Dict[Tuple, object] = {}
+        versions: Dict[int, int] = {}
+        for instr in list(block.instrs):
+            if isinstance(instr, StoreVar):
+                versions[id(instr.slot)] = versions.get(id(instr.slot), 0) + 1
+                continue
+            if isinstance(instr, StoreElem):
+                versions[id(instr.slot)] = versions.get(id(instr.slot), 0) + 1
+                continue
+            if isinstance(instr, (LoadVar, LoadElem)):
+                key = load_key(instr, versions.get(id(instr.slot), 0))
+            else:
+                key = instr_key(instr)
+            if key is None:
+                continue
+            existing = table.get(key)
+            if existing is None:
+                table[key] = instr
+            else:
+                function.replace_all_uses(instr, existing)  # type: ignore[arg-type]
+                block.remove(instr)
+                merged += 1
+    return merged

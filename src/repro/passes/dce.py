@@ -1,0 +1,119 @@
+"""Dead code elimination: the always-on trivial pass and the ADCE flag pass.
+
+The paper observes (Section VI-D-1) that LunarGlass's ADCE flag "in practise
+never changes the source output" because LLVM's trivially-dead removal plus
+the GLSL extensions already catch everything.  We reproduce that situation:
+``trivial_dce`` runs to fixpoint in the always-on pipeline (including dead
+stores to never-read array slots), so the liveness-based ``adce`` finds
+nothing extra on real shaders — while remaining a genuinely different,
+stronger algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.ir.instructions import (
+    Instr, LoadElem, Phi, StoreElem, Terminator, is_pure,
+)
+from repro.ir.module import Function
+from repro.ir.values import Value
+
+
+def trivial_dce(function: Function) -> int:
+    """Iteratively remove pure instructions with no uses; returns removals.
+
+    Includes dead stores to never-read array slots and dead phi *cycles*
+    (an accumulator only feeding itself around a loop).  This matches the
+    paper's observation that LLVM's always-on trivially-dead removal (plus
+    the GLSL extensions) leaves nothing for the ADCE flag to do.
+    """
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        used: Set[int] = set()
+        for instr in function.instructions():
+            for operand in instr.operands:
+                used.add(id(operand))
+        for block in function.blocks:
+            for instr in list(block.instrs):
+                if isinstance(instr, Terminator):
+                    continue
+                if is_pure(instr) and id(instr) not in used:
+                    block.remove(instr)
+                    removed += 1
+                    changed = True
+        removed += _dead_store_elimination(function)
+        cycles = _dead_cycle_elimination(function)
+        removed += cycles
+        changed = changed or bool(cycles)
+    return removed
+
+
+def _dead_cycle_elimination(function: Function) -> int:
+    """Remove pure instructions not transitively used by any side effect or
+    terminator (catches phi/add cycles trivial use-counting cannot)."""
+    live: Set[int] = set()
+    index = {}
+    worklist = []
+    for instr in function.instructions():
+        index[id(instr)] = instr
+        if instr.has_side_effects or isinstance(instr, Terminator):
+            live.add(id(instr))
+            worklist.append(instr)
+    while worklist:
+        instr = worklist.pop()
+        for operand in instr.operands:
+            key = id(operand)
+            if key in index and key not in live:
+                live.add(key)
+                worklist.append(index[key])
+    removed = 0
+    for block in function.blocks:
+        for instr in list(block.instrs):
+            if id(instr) not in live:
+                block.remove(instr)
+                removed += 1
+    return removed
+
+
+def _dead_store_elimination(function: Function) -> int:
+    """Remove StoreElem into array slots that are never loaded."""
+    loaded = {id(i.slot) for i in function.instructions() if isinstance(i, LoadElem)}
+    removed = 0
+    for block in function.blocks:
+        for instr in list(block.instrs):
+            if isinstance(instr, StoreElem) and id(instr.slot) not in loaded:
+                block.remove(instr)
+                removed += 1
+    return removed
+
+
+def adce(function: Function) -> int:
+    """Aggressive DCE: mark live from roots (side effects + control flow),
+    sweep everything else."""
+    live: Set[int] = set()
+    worklist = []
+    index = {}
+    for instr in function.instructions():
+        index[id(instr)] = instr
+        if instr.has_side_effects or isinstance(instr, Terminator):
+            live.add(id(instr))
+            worklist.append(instr)
+
+    while worklist:
+        instr = worklist.pop()
+        for operand in instr.operands:
+            key = id(operand)
+            if key in index and key not in live:
+                live.add(key)
+                worklist.append(index[key])
+
+    removed = 0
+    for block in function.blocks:
+        for instr in list(block.instrs):
+            if id(instr) not in live:
+                block.remove(instr)
+                removed += 1
+    return removed

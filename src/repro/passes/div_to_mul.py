@@ -1,0 +1,36 @@
+"""The Const-Div-to-Mul flag: ``x / c -> x * (1/c)`` for constant divisors.
+
+The reciprocal is computed at compile time (paper Section III-B); this is an
+unsafe transform because ``1/c`` rounds.  Division by a constant containing a
+zero component is left untouched.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import BinOp
+from repro.ir.module import Function
+from repro.ir.values import Constant
+from repro.passes.trees import insert_before
+
+
+def div_to_mul(function: Function) -> int:
+    changed = 0
+    for block in function.blocks:
+        for instr in list(block.instrs):
+            if (not isinstance(instr, BinOp) or instr.op != "div"
+                    or instr.ty.kind != "float"):
+                continue
+            divisor = instr.rhs
+            if not isinstance(divisor, Constant):
+                continue
+            comps = divisor.components()
+            if any(c == 0 for c in comps):
+                continue
+            inverse = tuple(1.0 / float(c) for c in comps)
+            recip = Constant(divisor.ty,
+                             inverse if divisor.ty.is_vector else inverse[0])
+            product = insert_before(instr, BinOp("mul", instr.lhs, recip))
+            function.replace_all_uses(instr, product)
+            block.remove(instr)
+            changed += 1
+    return changed

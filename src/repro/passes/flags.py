@@ -1,0 +1,98 @@
+"""The eight optimization flags explored by the paper.
+
+Six are LunarGlass defaults (ADCE, Hoist, Unroll, Coalesce, GVN, integer
+Reassociate); two are the paper's additional unsafe floating-point passes
+(FP-Reassociate and Const-Div-to-Mul).  All 256 on/off combinations form the
+exhaustive search space of Section III-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Iterator, Tuple
+
+#: Canonical flag order used for combination indexing (bit 0 = adce).
+ALL_FLAG_NAMES: Tuple[str, ...] = (
+    "adce", "coalesce", "gvn", "reassociate", "unroll", "hoist",
+    "fp_reassociate", "div_to_mul",
+)
+
+#: Human-readable labels matching the paper's Table I columns.
+FLAG_LABELS = {
+    "adce": "ADCE",
+    "coalesce": "Coalesce",
+    "gvn": "GVN",
+    "reassociate": "Reassociate",
+    "unroll": "Unroll",
+    "hoist": "Hoist",
+    "fp_reassociate": "FP Reassociate",
+    "div_to_mul": "Div to Mul",
+}
+
+
+@dataclass(frozen=True)
+class OptimizationFlags:
+    adce: bool = False
+    coalesce: bool = False
+    gvn: bool = False
+    reassociate: bool = False
+    unroll: bool = False
+    hoist: bool = False
+    fp_reassociate: bool = False
+    div_to_mul: bool = False
+
+    @staticmethod
+    def none() -> "OptimizationFlags":
+        return OptimizationFlags()
+
+    @staticmethod
+    def all() -> "OptimizationFlags":
+        return OptimizationFlags(**{name: True for name in ALL_FLAG_NAMES})
+
+    @staticmethod
+    def from_index(index: int) -> "OptimizationFlags":
+        """Decode combination 0..255 (bit i = ALL_FLAG_NAMES[i])."""
+        if not 0 <= index < 256:
+            raise ValueError(f"combination index {index} out of range")
+        return OptimizationFlags(
+            **{name: bool(index >> bit & 1) for bit, name in enumerate(ALL_FLAG_NAMES)}
+        )
+
+    @property
+    def index(self) -> int:
+        return sum(
+            (1 << bit) if getattr(self, name) else 0
+            for bit, name in enumerate(ALL_FLAG_NAMES)
+        )
+
+    def enabled(self) -> Tuple[str, ...]:
+        return tuple(name for name in ALL_FLAG_NAMES if getattr(self, name))
+
+    def with_flag(self, name: str, value: bool = True) -> "OptimizationFlags":
+        if name not in ALL_FLAG_NAMES:
+            raise ValueError(f"unknown flag {name!r}")
+        current = {f.name: getattr(self, f.name) for f in fields(self)}
+        current[name] = value
+        return OptimizationFlags(**current)
+
+    @staticmethod
+    def single(name: str) -> "OptimizationFlags":
+        return OptimizationFlags.none().with_flag(name, True)
+
+    @staticmethod
+    def all_combinations() -> Iterator["OptimizationFlags"]:
+        for index in range(256):
+            yield OptimizationFlags.from_index(index)
+
+    def __str__(self) -> str:
+        names = self.enabled()
+        return "+".join(names) if names else "none"
+
+
+#: The flags LunarGlass enables by default (paper Section VI-B: GVN, integer
+#: reassociation, hoisting, unrolling, coalescing and ADCE are the defaults;
+#: the unsafe FP passes are the paper's additions and default to off).
+DEFAULT_LUNARGLASS = OptimizationFlags(
+    adce=True, coalesce=True, gvn=True, reassociate=True, unroll=True, hoist=True,
+    fp_reassociate=False, div_to_mul=False,
+)

@@ -1,0 +1,367 @@
+"""The unsafe floating-point reassociation flag (paper Section III-B).
+
+Implements every rewrite the paper lists:
+
+- ``ab + ac -> a(b + c)``      (common-factor extraction; the blur-kernel win)
+- ``a + a + a -> 3a``          (repeated-addend collapse)
+- ``a + b - a -> b``           (cancellation)
+- constant grouping            (``c1(c2 v) -> (c1 c2) v`` via constant folding)
+- scalar grouping              (``f1(f2 v) -> (f1 f2) v`` — scalar ops happen
+                                in scalar registers before one final splat)
+- ``x * 1 -> x``, ``x + 0 -> x``, and canonical operand ordering for better
+  downstream CSE.
+
+None of these are IEEE-safe (rounding changes), which is why a conformant
+driver JIT cannot apply them — the paper's whole motivation for doing them
+offline under developer control.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.instructions import BinOp, Construct, UnOp
+from repro.ir.module import Function
+from repro.ir.values import Constant, Value
+from repro.passes.trees import (
+    build_add_chain, build_mul_chain, flatten_add_tree, flatten_mul_tree,
+    insert_before, leaf_order_key, use_counts,
+)
+
+
+def fp_reassociate(function: Function) -> int:
+    changed = _identities(function)
+    # Tree rewrites create new sub-trees (e.g. factoring a common multiplier
+    # exposes an inner sum whose addends share weight constants), so iterate
+    # to a bounded fixpoint.
+    for _ in range(8):
+        round_changes = _mul_trees(function) + _add_trees(function)
+        changed += round_changes
+        if not round_changes:
+            break
+    changed += _canonical_order(function)
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# x*1, x+0, x-0
+# ---------------------------------------------------------------------------
+
+
+def _identities(function: Function) -> int:
+    changed = 0
+    for block in function.blocks:
+        for instr in list(block.instrs):
+            if not isinstance(instr, BinOp) or instr.ty.kind != "float":
+                continue
+            replacement: Optional[Value] = None
+            if instr.op == "mul":
+                if isinstance(instr.rhs, Constant) and instr.rhs.is_one:
+                    replacement = instr.lhs
+                elif isinstance(instr.lhs, Constant) and instr.lhs.is_one:
+                    replacement = instr.rhs
+            elif instr.op == "add":
+                if isinstance(instr.rhs, Constant) and instr.rhs.is_zero:
+                    replacement = instr.lhs
+                elif isinstance(instr.lhs, Constant) and instr.lhs.is_zero:
+                    replacement = instr.rhs
+            elif instr.op == "sub":
+                if isinstance(instr.rhs, Constant) and instr.rhs.is_zero:
+                    replacement = instr.lhs
+            if replacement is not None:
+                function.replace_all_uses(instr, replacement)
+                block.remove(instr)
+                changed += 1
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# Multiplication trees: constant + scalar grouping
+# ---------------------------------------------------------------------------
+
+
+def _splat_scalar(value: Value) -> Optional[Value]:
+    """If *value* is a splatted scalar (vectorization artifact), return the
+    underlying scalar Value/Constant; None otherwise."""
+    if isinstance(value, Constant) and value.ty.is_vector:
+        comps = value.components()
+        if all(c == comps[0] for c in comps):
+            return Constant(value.ty.scalar, comps[0])
+        return None
+    if isinstance(value, Construct):
+        first = value.operands[0]
+        if all(op is first for op in value.operands):
+            return first
+    return None
+
+
+def _tree_roots(function: Function, ops, kind: str = "float") -> Dict[int, bool]:
+    """ids of add/sub/mul nodes absorbed into a parent tree (single use by a
+    same-family node).  Processing only the *unabsorbed* roots keeps whole
+    trees visible to one rewrite (a+a+a must not become 2a+a)."""
+    uses = use_counts(function)
+    absorbed: Dict[int, bool] = {}
+    for instr in function.instructions():
+        if not isinstance(instr, BinOp) or instr.ty.kind != kind:
+            continue
+        for operand in (instr.lhs, instr.rhs):
+            if (isinstance(operand, BinOp) and operand.op in ops
+                    and instr.op in ops
+                    and operand.ty.kind == kind
+                    and uses.get(id(operand), 1) == 1):
+                absorbed[id(operand)] = True
+    return absorbed
+
+
+def _mul_trees(function: Function) -> int:
+    changed = 0
+    uses = use_counts(function)
+    absorbed = _tree_roots(function, ("mul",))
+    for block in function.blocks:
+        for instr in list(block.instrs):
+            if (not isinstance(instr, BinOp) or instr.op != "mul"
+                    or instr.ty.kind != "float" or instr.block is None):
+                continue
+            if absorbed.get(id(instr)):
+                continue
+            changed += _group_mul(function, instr, uses)
+    return changed
+
+
+def _group_mul(function: Function, root: BinOp, uses) -> int:
+    leaves = flatten_mul_tree(root, "float", uses)
+    if len(leaves) < 2:
+        return 0
+
+    if root.ty.is_scalar:
+        constants = [v for v in leaves if isinstance(v, Constant)]
+        others = [v for v in leaves if not isinstance(v, Constant)]
+        if len(constants) < 2:
+            return 0
+        product = 1.0
+        for const in constants:
+            product *= float(const.value)  # type: ignore[arg-type]
+        others.sort(key=leaf_order_key)
+        folded = Constant.float_(product)
+        result = build_mul_chain(root, others,
+                                 folded if product != 1.0 else None)
+        function.replace_all_uses(root, result)
+        if root.block is not None:
+            root.block.remove(root)
+        return 1
+
+    # Vector tree: pull splatted scalars/constants out into a scalar chain.
+    scalar_parts: List[Value] = []
+    vector_parts: List[Value] = []
+    for leaf in leaves:
+        scalar = _splat_scalar(leaf)
+        if scalar is not None:
+            scalar_parts.append(scalar)
+        else:
+            vector_parts.append(leaf)
+    if len(scalar_parts) < 2 or not vector_parts:
+        return 0
+
+    constant_product = 1.0
+    scalar_values = []
+    for part in scalar_parts:
+        if isinstance(part, Constant):
+            constant_product *= float(part.value)  # type: ignore[arg-type]
+        else:
+            scalar_values.append(part)
+    scalar_values.sort(key=leaf_order_key)
+
+    acc: Optional[Value] = None
+    for value in scalar_values:
+        acc = value if acc is None else insert_before(root, BinOp("mul", acc, value))
+    if constant_product != 1.0:
+        const = Constant.float_(constant_product)
+        acc = const if acc is None else insert_before(root, BinOp("mul", acc, const))
+
+    vector_parts.sort(key=leaf_order_key)
+    if acc is not None:
+        if isinstance(acc, Constant):
+            splat: Value = Constant.splat(root.ty, acc.value)
+        else:
+            splat = insert_before(
+                root, Construct(root.ty, [acc] * root.ty.width))
+        vector_parts.append(splat)
+    result = build_mul_chain(root, vector_parts, None)
+    function.replace_all_uses(root, result)
+    if root.block is not None:
+        root.block.remove(root)
+    return 1
+
+
+# ---------------------------------------------------------------------------
+# Addition trees: factorization, repeats, cancellation, constant grouping
+# ---------------------------------------------------------------------------
+
+
+def _add_trees(function: Function) -> int:
+    changed = 0
+    uses = use_counts(function)
+    absorbed = _tree_roots(function, ("add", "sub"))
+    for block in function.blocks:
+        for instr in list(block.instrs):
+            if (not isinstance(instr, BinOp) or instr.op not in ("add", "sub")
+                    or instr.ty.kind != "float" or instr.block is None):
+                continue
+            if absorbed.get(id(instr)):
+                continue
+            changed += _rewrite_add_tree(function, instr, uses)
+    return changed
+
+
+def _rewrite_add_tree(function: Function, root: BinOp, uses) -> int:
+    leaves = flatten_add_tree(root, "float", uses)
+    if len(leaves) < 2:
+        return 0
+
+    did_anything = False
+
+    # 1. Cancellation a + b - a -> b.
+    leaves, cancelled = _cancel(leaves)
+    did_anything = did_anything or cancelled
+
+    # 2. Constant grouping.
+    constants = [(s, v) for s, v in leaves if isinstance(v, Constant)]
+    leaves = [(s, v) for s, v in leaves if not isinstance(v, Constant)]
+    folded: Optional[Constant] = None
+    if constants:
+        ty = root.ty
+        total = [0.0] * ty.width
+        for sign, const in constants:
+            for lane, comp in enumerate(const.components()):
+                total[lane] += sign * float(comp)
+        if any(total):
+            folded = Constant(ty, tuple(total) if ty.is_vector else total[0])
+        if len(constants) > 1 or (len(constants) == 1 and folded is None):
+            did_anything = True
+
+    # 3. Repeated addends a + a + a -> 3a.
+    leaves, collapsed = _collapse_repeats(root, leaves)
+    did_anything = did_anything or collapsed
+
+    # 4. Common-factor extraction ab + ac -> a(b + c).
+    leaves, factored = _factor(function, root, leaves, uses)
+    did_anything = did_anything or factored
+
+    if not did_anything:
+        return 0
+
+    leaves.sort(key=leaf_order_key)
+    result = build_add_chain(root, leaves, folded)
+    function.replace_all_uses(root, result)
+    if root.block is not None:
+        root.block.remove(root)
+    return 1
+
+
+def _cancel(leaves) -> Tuple[list, bool]:
+    out = []
+    cancelled = False
+    by_value: Dict[int, List[int]] = {}
+    skip = set()
+    for index, (sign, value) in enumerate(leaves):
+        opposite = by_value.get(id(value))
+        matched = False
+        if opposite:
+            for j in opposite:
+                if j not in skip and leaves[j][0] == -sign:
+                    skip.add(j)
+                    skip.add(index)
+                    cancelled = True
+                    matched = True
+                    break
+        if not matched:
+            by_value.setdefault(id(value), []).append(index)
+    out = [leaf for i, leaf in enumerate(leaves) if i not in skip]
+    return out, cancelled
+
+
+def _collapse_repeats(root: BinOp, leaves) -> Tuple[list, bool]:
+    counts: Dict[int, int] = {}
+    first: Dict[int, Tuple[int, Value]] = {}
+    order: List[int] = []
+    for sign, value in leaves:
+        key = id(value) * (1 if sign > 0 else -1)
+        if key not in counts:
+            order.append(key)
+            first[key] = (sign, value)
+        counts[key] = counts.get(key, 0) + 1
+    if all(c == 1 for c in counts.values()):
+        return leaves, False
+    out = []
+    for key in order:
+        sign, value = first[key]
+        count = counts[key]
+        if count == 1:
+            out.append((sign, value))
+        else:
+            factor = Constant.splat(root.ty, float(count))
+            product = insert_before(root, BinOp("mul", value, factor))
+            out.append((sign, product))
+    return out, True
+
+
+def _factor(function: Function, root: BinOp, leaves, uses) -> Tuple[list, bool]:
+    """Greedy pairwise factoring of shared multiplicands."""
+    changed = False
+    progress = True
+    while progress:
+        progress = False
+        for i in range(len(leaves)):
+            for j in range(i + 1, len(leaves)):
+                si, vi = leaves[i]
+                sj, vj = leaves[j]
+                if si != sj:
+                    continue
+                if not (isinstance(vi, BinOp) and vi.op == "mul"
+                        and isinstance(vj, BinOp) and vj.op == "mul"):
+                    continue
+                if uses.get(id(vi), 1) > 1 or uses.get(id(vj), 1) > 1:
+                    continue
+                shared = _shared_operand(vi, vj)
+                if shared is None:
+                    continue
+                other_i = vi.rhs if vi.lhs is shared else vi.lhs
+                other_j = vj.rhs if vj.lhs is shared else vj.lhs
+                inner = insert_before(root, BinOp("add", other_i, other_j))
+                outer = insert_before(root, BinOp("mul", shared, inner))
+                leaves = (leaves[:i] + [(si, outer)] + leaves[i + 1 : j]
+                          + leaves[j + 1 :])
+                changed = True
+                progress = True
+                break
+            if progress:
+                break
+    return leaves, changed
+
+
+def _shared_operand(a: BinOp, b: BinOp) -> Optional[Value]:
+    for x in (a.lhs, a.rhs):
+        for y in (b.lhs, b.rhs):
+            if x is y and not isinstance(x, Constant):
+                return x
+            if isinstance(x, Constant) and isinstance(y, Constant) and x == y:
+                return x
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Canonical operand order (helps later CSE)
+# ---------------------------------------------------------------------------
+
+
+def _canonical_order(function: Function) -> int:
+    changed = 0
+    for instr in function.instructions():
+        if (isinstance(instr, BinOp) and instr.commutative
+                and instr.ty.kind == "float"):
+            lhs_key = leaf_order_key(instr.lhs)
+            rhs_key = leaf_order_key(instr.rhs)
+            if rhs_key < lhs_key:
+                instr.operands = [instr.rhs, instr.lhs]
+                changed += 1
+    return changed

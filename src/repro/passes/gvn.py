@@ -1,0 +1,55 @@
+"""Global value numbering (the GVN flag).
+
+Dominator-tree-scoped hash tables: walking the dominator tree depth-first,
+an expression available in an ancestor scope replaces any structurally equal
+instruction below it.  Memory reads (LoadVar/LoadElem) are skipped — the
+always-on local CSE handles those within a block, and cross-block movement
+would need a memory dependence analysis LunarGlass did not have either.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.ir.cfg import compute_dominators
+from repro.ir.module import BasicBlock, Function
+from repro.passes.keys import instr_key
+
+
+def gvn(function: Function) -> int:
+    idom = compute_dominators(function)
+    children: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in function.blocks}
+    for block in function.blocks:
+        parent = idom[block]
+        if parent is not None:
+            children[parent].append(block)
+
+    merged = 0
+    scopes: List[Dict[Tuple, object]] = []
+
+    def lookup(key: Tuple):
+        for scope in reversed(scopes):
+            if key in scope:
+                return scope[key]
+        return None
+
+    def visit(block: BasicBlock) -> None:
+        nonlocal merged
+        scopes.append({})
+        for instr in list(block.instrs):
+            key = instr_key(instr)
+            if key is None:
+                continue
+            existing = lookup(key)
+            if existing is None:
+                scopes[-1][key] = instr
+            else:
+                function.replace_all_uses(instr, existing)  # type: ignore[arg-type]
+                block.remove(instr)
+                merged += 1
+        for child in children[block]:
+            visit(child)
+        scopes.pop()
+
+    visit(function.entry)
+    return merged

@@ -1,0 +1,143 @@
+"""The Hoist flag: flatten conditionals into select instructions.
+
+LunarGlass's description: "Flatten conditionals by changing assignments
+inside 'if' blocks into select instructions."  We if-convert diamonds and
+triangles whose arms are speculation-safe (pure — texture samples included,
+GPUs speculate those when flattening), merging everything into the
+predecessor block.  This is exactly what produces the paper's "very large
+basic blocks ... pressure on the register allocators" artifact, and the
+pathological slow-down cases of Fig. 9.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ir.instructions import (
+    Br, CondBr, Instr, Phi, Select, Terminator, is_pure,
+)
+from repro.ir.module import BasicBlock, Function
+
+
+def hoist(function: Function) -> int:
+    """If-convert until fixpoint; returns number of conditionals flattened."""
+    flattened = 0
+    changed = True
+    while changed:
+        changed = False
+        preds = function.predecessors()
+        for block in list(function.blocks):
+            if _try_flatten(function, block, preds):
+                flattened += 1
+                changed = True
+                break  # CFG changed; recompute predecessors
+    return flattened
+
+
+def _try_flatten(function: Function, block: BasicBlock, preds) -> bool:
+    term = block.terminator
+    if not isinstance(term, CondBr):
+        return False
+    then_blk, else_blk = term.if_true, term.if_false
+    if then_blk is else_blk:
+        return False
+
+    # Diamond: B -> T -> M, B -> F -> M.   Triangle: B -> T -> M, B -> M.
+    merge: Optional[BasicBlock] = None
+    arms: List[BasicBlock] = []
+    if _is_arm(then_blk, block, preds) and _is_arm(else_blk, block, preds):
+        t_target = then_blk.terminator.target  # type: ignore[union-attr]
+        e_target = else_blk.terminator.target  # type: ignore[union-attr]
+        if t_target is not e_target:
+            return False
+        merge = t_target
+        arms = [then_blk, else_blk]
+    elif _is_arm(then_blk, block, preds):
+        if then_blk.terminator.target is not else_blk:  # type: ignore[union-attr]
+            return False
+        merge = else_blk
+        arms = [then_blk]
+    elif _is_arm(else_blk, block, preds):
+        if else_blk.terminator.target is not then_blk:  # type: ignore[union-attr]
+            return False
+        merge = then_blk
+        arms = [else_blk]
+    else:
+        return False
+
+    if merge is block:
+        return False
+    # The merge must not have other predecessors sneaking values in via phis
+    # we cannot rewrite (it may — phis handle it — but merge phis must only
+    # reference the diamond's edges for a clean select rewrite).
+    merge_preds = set(preds[merge])
+    expected = set(arms) | ({block} if len(arms) < 2 else set())
+    if merge_preds != expected:
+        return False
+
+    for arm in arms:
+        for instr in arm.instrs:
+            if isinstance(instr, Terminator):
+                continue
+            if isinstance(instr, Phi) or not is_pure(instr):
+                return False
+
+    # Move arm instructions into the predecessor.
+    for arm in arms:
+        for instr in list(arm.instrs):
+            if isinstance(instr, Terminator):
+                continue
+            arm.remove(instr)
+            block.insert_before_terminator(instr)
+
+    # Rewrite merge phis as selects.
+    then_pred = then_blk if then_blk in arms else block
+    else_pred = else_blk if else_blk in arms else block
+    for phi in list(merge.phis()):
+        true_val = None
+        false_val = None
+        for pred, value in phi.incoming:
+            if pred is then_pred:
+                true_val = value
+            elif pred is else_pred:
+                false_val = value
+        if true_val is None or false_val is None:
+            return False  # should not happen given the pred check
+        if true_val is false_val:
+            replacement = true_val
+        else:
+            select = Select(term.cond, true_val, false_val)
+            block.insert_before_terminator(select)
+            replacement = select
+        function.replace_all_uses(phi, replacement)
+        merge.remove(phi)
+
+    # Fold the branch: B now jumps straight to merge.
+    block.remove(term)
+    block.append(Br(merge))
+    for arm in arms:
+        function.blocks.remove(arm)
+
+    # Merge M into B when B is now its only predecessor (grows basic blocks,
+    # the artifact the paper calls out).
+    new_preds = function.predecessors()
+    if new_preds[merge] == [block] and merge is not block:
+        block.remove(block.terminator)  # the Br(merge)
+        for instr in list(merge.instrs):
+            merge.remove(instr)
+            instr.block = block
+            block.instrs.append(instr)
+        # Phis in merge's successors referencing merge now come from block.
+        for succ in block.successors():
+            for phi in succ.phis():
+                for i, (pred, value) in enumerate(list(phi.incoming)):
+                    if pred is merge:
+                        phi.incoming[i] = (block, value)
+        function.blocks.remove(merge)
+    return True
+
+
+def _is_arm(candidate: BasicBlock, pred: BasicBlock, preds) -> bool:
+    """A single-entry block ending in an unconditional branch."""
+    return (preds.get(candidate) == [pred]
+            and isinstance(candidate.terminator, Br))

@@ -1,0 +1,69 @@
+"""Hashable structural keys for instructions, shared by CSE and GVN."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.ir.instructions import (
+    BinOp, Call, Cmp, Construct, Convert, ExtractElem, InsertElem, LoadElem,
+    LoadGlobal, LoadVar, Sample, Select, Shuffle, UnOp,
+)
+from repro.ir.values import Constant, Undef, Value
+
+
+def value_key(value: Value):
+    """Identity for SSA values; structural equality for constants."""
+    if isinstance(value, Constant):
+        return ("c", value.ty, value.value)
+    if isinstance(value, Undef):
+        return ("undef", value.ty)
+    return ("v", id(value))
+
+
+def instr_key(instr) -> Optional[Tuple]:
+    """A structural key, or None when the instruction must not be merged.
+
+    ``LoadVar``/``LoadElem`` are memory reads: they get keys *only* when the
+    caller supplies a memory version (CSE does; GVN skips mutable slots).
+    """
+    if isinstance(instr, BinOp):
+        lhs, rhs = value_key(instr.lhs), value_key(instr.rhs)
+        if instr.commutative and rhs < lhs:
+            lhs, rhs = rhs, lhs
+        return ("bin", instr.op, instr.ty, lhs, rhs)
+    if isinstance(instr, Cmp):
+        return ("cmp", instr.op, value_key(instr.lhs), value_key(instr.rhs))
+    if isinstance(instr, UnOp):
+        return ("un", instr.op, value_key(instr.operand))
+    if isinstance(instr, Convert):
+        return ("conv", instr.ty.kind, value_key(instr.value))
+    if isinstance(instr, Select):
+        return ("select", tuple(value_key(op) for op in instr.operands))
+    if isinstance(instr, ExtractElem):
+        return ("extract", instr.index, value_key(instr.vector))
+    if isinstance(instr, InsertElem):
+        return ("insert", instr.index, value_key(instr.vector),
+                value_key(instr.scalar))
+    if isinstance(instr, Shuffle):
+        return ("shuffle", tuple(instr.mask), value_key(instr.source))
+    if isinstance(instr, Construct):
+        return ("construct", instr.ty, tuple(value_key(op) for op in instr.operands))
+    if isinstance(instr, Call):
+        return ("call", instr.callee, instr.ty,
+                tuple(value_key(op) for op in instr.operands))
+    if isinstance(instr, Sample):
+        return ("sample", instr.sampler, instr.sampler_kind,
+                tuple(value_key(op) for op in instr.operands))
+    if isinstance(instr, LoadGlobal):
+        element = value_key(instr.element) if instr.element is not None else None
+        return ("loadglobal", instr.var, instr.column, element)
+    return None
+
+
+def load_key(instr, version: int) -> Optional[Tuple]:
+    """Key for slot loads, valid for a specific store version."""
+    if isinstance(instr, LoadVar):
+        return ("loadvar", id(instr.slot), version)
+    if isinstance(instr, LoadElem):
+        return ("loadelem", id(instr.slot), value_key(instr.index), version)
+    return None

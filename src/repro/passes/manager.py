@@ -1,0 +1,70 @@
+"""Pass pipeline driver, mirroring the LunarGlass stack's fixed order.
+
+``run_passes(module, flags)`` applies:
+
+1. the always-on canonical passes (constant folding / simplification, local
+   CSE, trivial DCE) — these run regardless of flags, as in LunarGlass;
+2. each enabled flag pass in a fixed order (unroll first so constant-index
+   array loads fold; hoist next so flattened code feeds the scalar passes;
+   then the arithmetic passes; GVN and coalesce late; ADCE last), with the
+   canonical cleanup re-run after each one.
+
+The same entry point drives both the offline optimizer and the simulated
+vendor JIT pipelines (with vendor-specific flag sets).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.module import Module
+from repro.passes.canonicalize import canonicalize
+from repro.passes.coalesce import coalesce
+from repro.passes.cse import local_cse
+from repro.passes.dce import adce, trivial_dce
+from repro.passes.div_to_mul import div_to_mul
+from repro.passes.flags import OptimizationFlags
+from repro.passes.fp_reassociate import fp_reassociate
+from repro.passes.gvn import gvn
+from repro.passes.hoist import hoist
+from repro.passes.reassociate import reassociate
+from repro.passes.simplify_cfg import merge_straightline_blocks
+from repro.passes.unroll import unroll
+
+#: Flag pass execution order (not the flag-bit order).
+PASS_ORDER = (
+    "unroll", "hoist", "reassociate", "fp_reassociate", "div_to_mul",
+    "gvn", "coalesce", "adce",
+)
+
+_PASS_FN = {
+    "unroll": unroll,
+    "hoist": hoist,
+    "reassociate": reassociate,
+    "fp_reassociate": fp_reassociate,
+    "div_to_mul": div_to_mul,
+    "gvn": gvn,
+    "coalesce": coalesce,
+    "adce": adce,
+}
+
+
+def run_passes(module: Module, flags: OptimizationFlags) -> Dict[str, int]:
+    """Run the configured pipeline in place; returns per-pass change counts."""
+    function = module.function
+    stats: Dict[str, int] = {}
+
+    def cleanup() -> None:
+        canonicalize(function)
+        merge_straightline_blocks(function)
+        local_cse(function)
+        trivial_dce(function)
+        canonicalize(function)
+
+    cleanup()
+    for name in PASS_ORDER:
+        if not getattr(flags, name):
+            continue
+        stats[name] = _PASS_FN[name](function)
+        cleanup()
+    return stats

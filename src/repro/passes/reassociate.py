@@ -1,0 +1,112 @@
+"""The integer Reassociate flag pass.
+
+Per the paper (Section VI-D-3): reorders *integer* arithmetic to simplify it,
+plus a couple of floating-point identities — "some floating-point expressions
+like f × 0" and removing "unnecessary additions of zero in floating point
+calculations", which the paper notes is where most of this pass's visible
+impact actually comes from (integers are rare in shaders).
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import BinOp
+from repro.ir.module import Function
+from repro.ir.values import Constant
+from repro.passes.trees import (
+    build_add_chain, build_mul_chain, flatten_add_tree, flatten_mul_tree,
+    leaf_order_key, use_counts,
+)
+
+
+def reassociate(function: Function) -> int:
+    changed = 0
+    changed += _float_identities(function)
+    changed += _integer_trees(function)
+    return changed
+
+
+def _float_identities(function: Function) -> int:
+    """f + 0.0 -> f and f * 0.0 -> 0.0 (the paper's observed behaviour)."""
+    changed = 0
+    for block in function.blocks:
+        for instr in list(block.instrs):
+            if not isinstance(instr, BinOp) or instr.ty.kind != "float":
+                continue
+            replacement = None
+            if instr.op == "add":
+                if isinstance(instr.rhs, Constant) and instr.rhs.is_zero:
+                    replacement = instr.lhs
+                elif isinstance(instr.lhs, Constant) and instr.lhs.is_zero:
+                    replacement = instr.rhs
+            elif instr.op == "sub":
+                if isinstance(instr.rhs, Constant) and instr.rhs.is_zero:
+                    replacement = instr.lhs
+            elif instr.op == "mul":
+                if isinstance(instr.rhs, Constant) and instr.rhs.is_zero:
+                    replacement = instr.rhs
+                elif isinstance(instr.lhs, Constant) and instr.lhs.is_zero:
+                    replacement = instr.lhs
+            if replacement is not None:
+                function.replace_all_uses(instr, replacement)
+                block.remove(instr)
+                changed += 1
+    return changed
+
+
+def _integer_trees(function: Function) -> int:
+    from repro.passes.fp_reassociate import _tree_roots
+
+    changed = 0
+    uses = use_counts(function)
+    absorbed_add = _tree_roots(function, ("add", "sub"), kind="int")
+    absorbed_mul = _tree_roots(function, ("mul",), kind="int")
+    for block in function.blocks:
+        for instr in list(block.instrs):
+            if (not isinstance(instr, BinOp) or instr.ty.kind != "int"
+                    or not instr.ty.is_scalar or instr.block is None):
+                continue
+            if instr.op in ("add", "sub") and not absorbed_add.get(id(instr)):
+                changed += _reassociate_add(function, instr, uses)
+            elif instr.op == "mul" and not absorbed_mul.get(id(instr)):
+                changed += _reassociate_mul(function, instr, uses)
+    return changed
+
+
+def _reassociate_add(function: Function, root: BinOp, uses) -> int:
+    leaves = flatten_add_tree(root, "int", uses)
+    if len(leaves) < 2:
+        return 0
+    constants = [(s, v) for s, v in leaves if isinstance(v, Constant)]
+    others = [(s, v) for s, v in leaves if not isinstance(v, Constant)]
+    if len(constants) < 2 and not (constants and constants[0][1].is_zero):
+        return 0
+    total = 0
+    for sign, const in constants:
+        total += sign * const.value  # type: ignore[operator]
+    others.sort(key=leaf_order_key)
+    folded = Constant(root.ty, int(total)) if total else None
+    result = build_add_chain(root, others, folded)
+    function.replace_all_uses(root, result)
+    if root.block is not None:
+        root.block.remove(root)
+    return 1
+
+
+def _reassociate_mul(function: Function, root: BinOp, uses) -> int:
+    leaves = flatten_mul_tree(root, "int", uses)
+    if len(leaves) < 2:
+        return 0
+    constants = [v for v in leaves if isinstance(v, Constant)]
+    others = [v for v in leaves if not isinstance(v, Constant)]
+    if len(constants) < 2 and not (constants and constants[0].is_one):
+        return 0
+    product = 1
+    for const in constants:
+        product *= const.value  # type: ignore[operator]
+    others.sort(key=leaf_order_key)
+    folded = Constant(root.ty, int(product)) if product != 1 else None
+    result = build_mul_chain(root, others, folded)
+    function.replace_all_uses(root, result)
+    if root.block is not None:
+        root.block.remove(root)
+    return 1

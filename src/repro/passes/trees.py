@@ -1,0 +1,137 @@
+"""Shared expression-tree machinery for the reassociation passes.
+
+Both the integer Reassociate flag and the unsafe FP-Reassociate flag flatten
+add/sub (or mul) trees into leaf lists, simplify, and rebuild.  Flattening
+only walks through single-use intermediate nodes of the same kind, mirroring
+LLVM's reassociation rank rules closely enough for shader-sized code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.instructions import BinOp, Instr, UnOp
+from repro.ir.module import Function
+from repro.ir.values import Constant, Value
+
+SignedLeaf = Tuple[int, Value]  # (+1 | -1, value)
+
+
+def use_counts(function: Function) -> Dict[int, int]:
+    counts: Dict[int, int] = {}
+    for instr in function.instructions():
+        for operand in instr.operands:
+            counts[id(operand)] = counts.get(id(operand), 0) + 1
+    return counts
+
+
+def flatten_add_tree(root: BinOp, kind: str, uses: Dict[int, int]) -> List[SignedLeaf]:
+    """Flatten an add/sub tree rooted at *root* into signed leaves."""
+    leaves: List[SignedLeaf] = []
+
+    def walk(value: Value, sign: int, is_root: bool) -> None:
+        if (isinstance(value, BinOp) and value.op in ("add", "sub")
+                and value.ty.kind == kind
+                and (is_root or uses.get(id(value), 1) == 1)):
+            walk(value.lhs, sign, False)
+            walk(value.rhs, sign if value.op == "add" else -sign, False)
+        elif (isinstance(value, UnOp) and value.op == "neg"
+              and value.ty.kind == kind
+              and uses.get(id(value), 1) == 1 and not is_root):
+            walk(value.operand, -sign, False)
+        else:
+            leaves.append((sign, value))
+
+    walk(root, 1, True)
+    return leaves
+
+
+def flatten_mul_tree(root: BinOp, kind: str, uses: Dict[int, int]) -> List[Value]:
+    leaves: List[Value] = []
+
+    def walk(value: Value, is_root: bool) -> None:
+        if (isinstance(value, BinOp) and value.op == "mul"
+                and value.ty.kind == kind
+                and (is_root or uses.get(id(value), 1) == 1)):
+            walk(value.lhs, False)
+            walk(value.rhs, False)
+        else:
+            leaves.append(value)
+
+    walk(root, True)
+    return leaves
+
+
+def leaf_order_key(entry) -> Tuple:
+    """Deterministic canonical ordering: non-constants by SSA creation order,
+    constants last (LLVM's convention).
+
+    Names are ``v<counter>``; comparing ``(len(name), name)`` orders them
+    numerically, which is stable across compiles (plain string comparison
+    would put "v99" after "v100" and make the output depend on the global
+    counter's absolute value).
+    """
+    value = entry[1] if isinstance(entry, tuple) else entry
+    if isinstance(value, Constant):
+        return (1, 0, str(value.ty), str(value.value))
+    name = getattr(value, "name", "")
+    return (0, len(name), name, "")
+
+
+def insert_before(instr: Instr, new_instr: Instr) -> Instr:
+    """Insert *new_instr* just before *instr* in its block."""
+    block = instr.block
+    assert block is not None
+    index = block.instrs.index(instr)
+    new_instr.block = block
+    block.instrs.insert(index, new_instr)
+    return new_instr
+
+
+def build_add_chain(root: BinOp, leaves: List[SignedLeaf],
+                    constant: Optional[Constant]) -> Value:
+    """Rebuild ``sum(leaves) + constant`` before *root*; returns the result."""
+    positives = [v for s, v in leaves if s > 0]
+    negatives = [v for s, v in leaves if s < 0]
+
+    acc: Optional[Value] = None
+    for value in positives:
+        if acc is None:
+            acc = value
+        else:
+            acc = insert_before(root, BinOp("add", acc, value))
+    if acc is None:
+        if constant is not None and negatives:
+            acc = constant
+            constant = None
+        elif negatives:
+            acc = insert_before(root, UnOp("neg", negatives.pop(0)))
+    for value in negatives:
+        if acc is None:
+            acc = insert_before(root, UnOp("neg", value))
+        else:
+            acc = insert_before(root, BinOp("sub", acc, value))
+    if constant is not None and not constant.is_zero:
+        if acc is None:
+            return constant
+        acc = insert_before(root, BinOp("add", acc, constant))
+    if acc is None:
+        return constant if constant is not None else Constant.splat(root.ty, 0)
+    return acc
+
+
+def build_mul_chain(root: BinOp, leaves: List[Value],
+                    constant: Optional[Constant]) -> Value:
+    acc: Optional[Value] = None
+    for value in leaves:
+        if acc is None:
+            acc = value
+        else:
+            acc = insert_before(root, BinOp("mul", acc, value))
+    if constant is not None and not constant.is_one:
+        if acc is None:
+            return constant
+        acc = insert_before(root, BinOp("mul", acc, constant))
+    if acc is None:
+        return constant if constant is not None else Constant.splat(root.ty, 1)
+    return acc

@@ -1,0 +1,8 @@
+"""Plain-text rendering of study results (tables, histograms, violins)."""
+
+from repro.reporting.tables import render_table
+from repro.reporting.histogram import render_histogram, render_bars
+from repro.reporting.violin import violin_summary, render_violin_table
+
+__all__ = ["render_table", "render_histogram", "render_bars",
+           "violin_summary", "render_violin_table"]

@@ -1,0 +1,44 @@
+"""ASCII histograms / bar charts for distribution figures (Fig. 4, Fig. 7)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+_BAR = "#"
+_WIDTH = 50
+
+
+def render_bars(values: Sequence[float], labels: Sequence[str] = (),
+                title: str = "", width: int = _WIDTH) -> str:
+    """One bar per value (the paper's sorted per-shader plots)."""
+    out: List[str] = [title] if title else []
+    if not values:
+        return "\n".join(out + ["(empty)"])
+    peak = max(abs(v) for v in values) or 1.0
+    for index, value in enumerate(values):
+        label = labels[index] if index < len(labels) else str(index)
+        bar = _BAR * max(1, int(abs(value) / peak * width)) if value else ""
+        sign = "-" if value < 0 else " "
+        out.append(f"{label:>24s} {value:+8.2f} {sign}{bar}")
+    return "\n".join(out)
+
+
+def render_histogram(values: Sequence[float], bins: int = 12,
+                     title: str = "", width: int = _WIDTH) -> str:
+    """Binned counts (for LoC / cycle distributions)."""
+    out: List[str] = [title] if title else []
+    if not values:
+        return "\n".join(out + ["(empty)"])
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    counts = [0] * bins
+    for value in values:
+        index = min(int((value - lo) / span * bins), bins - 1)
+        counts[index] += 1
+    peak = max(counts) or 1
+    for index, count in enumerate(counts):
+        left = lo + span * index / bins
+        right = lo + span * (index + 1) / bins
+        bar = _BAR * int(count / peak * width)
+        out.append(f"[{left:8.1f},{right:8.1f}) {count:4d} {bar}")
+    return "\n".join(out)

@@ -1,0 +1,29 @@
+"""Minimal fixed-width table renderer for benchmark output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+
+    def line(row: Sequence[str]) -> str:
+        return " | ".join(text.ljust(width) for text, width in zip(row, widths))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(cells[0]))
+    out.append("-+-".join("-" * w for w in widths))
+    for row in cells[1:]:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:+.2f}" if abs(value) < 1000 else f"{value:.3g}"
+    return str(value)

@@ -1,0 +1,39 @@
+"""Violin-style summaries for Fig. 9 (per-flag speed-up distributions)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.reporting.tables import render_table
+
+
+def violin_summary(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / quartiles / extremes — what the paper's violins communicate."""
+    if not values:
+        return {"mean": 0.0, "min": 0.0, "p25": 0.0, "median": 0.0,
+                "p75": 0.0, "max": 0.0}
+    data = sorted(values)
+    n = len(data)
+
+    def pct(p: float) -> float:
+        return data[min(int(p * n), n - 1)]
+
+    return {
+        "mean": sum(data) / n,
+        "min": data[0],
+        "p25": pct(0.25),
+        "median": pct(0.50),
+        "p75": pct(0.75),
+        "max": data[-1],
+    }
+
+
+def render_violin_table(named_values: Dict[str, Sequence[float]],
+                        title: str = "") -> str:
+    headers = ["series", "mean", "min", "p25", "median", "p75", "max"]
+    rows: List[List[object]] = []
+    for name, values in named_values.items():
+        summary = violin_summary(values)
+        rows.append([name, summary["mean"], summary["min"], summary["p25"],
+                     summary["median"], summary["p75"], summary["max"]])
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,120 @@
+"""CLI and reporting-module tests."""
+
+import pytest
+
+from repro.cli import main, parse_flags
+from repro.corpus import MOTIVATING_SHADER
+from repro.passes import DEFAULT_LUNARGLASS, OptimizationFlags
+from repro.reporting import (
+    render_bars, render_histogram, render_table, render_violin_table,
+    violin_summary,
+)
+
+
+@pytest.fixture()
+def shader_file(tmp_path):
+    path = tmp_path / "blur.frag"
+    path.write_text(MOTIVATING_SHADER)
+    return str(path)
+
+
+# ---------------------------------------------------------------------------
+# Flag parsing
+# ---------------------------------------------------------------------------
+
+
+def test_parse_flags_names():
+    flags = parse_flags("unroll,fp_reassociate")
+    assert flags.unroll and flags.fp_reassociate and not flags.gvn
+
+
+def test_parse_flags_special_values():
+    assert parse_flags("default") == DEFAULT_LUNARGLASS
+    assert parse_flags("all") == OptimizationFlags.all()
+    assert parse_flags("none") == OptimizationFlags.none()
+
+
+def test_parse_flags_unknown_rejected():
+    with pytest.raises(SystemExit):
+        parse_flags("warpdrive")
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+def test_cli_optimize(shader_file, capsys):
+    assert main(["optimize", shader_file, "--flags",
+                 "unroll,fp_reassociate,div_to_mul"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("#version")
+    assert out.count("texture(") == 9  # unrolled
+    assert "for (" not in out
+
+
+def test_cli_optimize_es(shader_file, capsys):
+    assert main(["optimize", shader_file, "--es", "--flags", "none"]) == 0
+    assert "precision highp float;" in capsys.readouterr().out
+
+
+def test_cli_variants(shader_file, capsys):
+    assert main(["variants", shader_file]) == 0
+    out = capsys.readouterr().out
+    assert "unique variants from 256 combinations" in out
+
+
+def test_cli_time_single_platform(shader_file, capsys):
+    assert main(["time", shader_file, "--platform", "AMD",
+                 "--flags", "unroll"]) == 0
+    out = capsys.readouterr().out
+    assert "AMD" in out and "speed-up" in out
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+
+
+def test_render_table_alignment():
+    text = render_table(["a", "long header"], [[1, 2.5], [333, -4.25]],
+                        title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert all(len(line) == len(lines[1]) for line in lines[1:])
+    assert "+2.50" in text and "-4.25" in text
+
+
+def test_render_bars_handles_negative():
+    text = render_bars([5.0, -2.5], ["up", "down"])
+    assert "up" in text and "down" in text and "-#" in text
+
+
+def test_render_bars_empty():
+    assert "(empty)" in render_bars([], title="x")
+
+
+def test_render_histogram_bins_sum_to_count():
+    import re
+    values = [float(i) for i in range(100)]
+    text = render_histogram(values, bins=10)
+    counts = [int(m.group(1)) for m in re.finditer(r"\)\s+(\d+)", text)]
+    assert sum(counts) == 100
+
+
+def test_violin_summary_quartiles():
+    summary = violin_summary(list(range(1, 101)))
+    assert summary["min"] == 1
+    assert summary["max"] == 100
+    assert 24 <= summary["p25"] <= 27
+    assert 49 <= summary["median"] <= 52
+    assert summary["mean"] == pytest.approx(50.5)
+
+
+def test_violin_summary_empty():
+    assert violin_summary([])["mean"] == 0.0
+
+
+def test_render_violin_table():
+    text = render_violin_table({"flagA": [1.0, 2.0], "flagB": [-1.0, 3.0]})
+    assert "flagA" in text and "flagB" in text and "median" in text

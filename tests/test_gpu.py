@@ -1,0 +1,311 @@
+"""GPU model tests: ISA classification, cost model mechanisms, vendor JITs,
+timer noise."""
+
+import random
+
+import pytest
+
+from repro.core import compile_shader
+from repro.gpu.cost import GPUSpec, draw_time_ns, estimate_kernel
+from repro.gpu.isa import OpClass, classify
+from repro.gpu.platform import all_platforms, platform_by_name
+from repro.gpu.registers import max_live_scalars
+from repro.gpu.timing import TimerModel
+from repro.gpu.vendors import AMD, ARM, INTEL, NVIDIA, QUALCOMM
+from repro.passes import OptimizationFlags
+
+
+def build(source, **flags):
+    return compile_shader(source, OptimizationFlags(**flags)).module.function
+
+
+SCALAR_SPEC = GPUSpec(name="s", isa="scalar")
+VECTOR_SPEC = GPUSpec(name="v", isa="vector")
+
+
+# ---------------------------------------------------------------------------
+# Classification
+# ---------------------------------------------------------------------------
+
+
+def test_classify_core_ops():
+    fn = build("""
+uniform sampler2D t;
+uniform vec4 c;
+in vec2 uv;
+out vec4 f;
+void main() { f = texture(t, uv) * c + vec4(sin(uv.x)); }
+""")
+    classes = {classify(i).op_class for i in fn.instructions()}
+    assert OpClass.TEXTURE in classes
+    assert OpClass.INTERP in classes
+    assert OpClass.UNIFORM in classes
+    assert OpClass.TRANSCENDENTAL in classes
+    assert OpClass.EXPORT in classes
+
+
+def test_const_array_load_is_uniform_class():
+    fn = build("""
+uniform int n;
+out vec4 f;
+void main() {
+    const float w[2] = float[](0.3, 0.7);
+    f = vec4(w[n]);
+}
+""")
+    from repro.ir.instructions import LoadElem
+    loads = [i for i in fn.instructions() if isinstance(i, LoadElem)]
+    assert loads and classify(loads[0]).op_class is OpClass.UNIFORM
+
+
+# ---------------------------------------------------------------------------
+# Cost model mechanisms
+# ---------------------------------------------------------------------------
+
+
+def test_scalar_isa_pays_per_lane_vector_isa_per_issue():
+    fn = build("""
+uniform vec4 a;
+uniform vec4 b;
+out vec4 f;
+void main() { f = a * b + a; }
+""")
+    scalar_cost = estimate_kernel(fn, SCALAR_SPEC).alu_cycles
+    vector_cost = estimate_kernel(fn, VECTOR_SPEC).alu_cycles
+    assert scalar_cost > vector_cost * 2
+
+
+def test_vector_isa_punishes_scalar_grouping():
+    """The FP-Reassociate Mali mechanism: grouped scalar chains are cheaper
+    on scalar ISAs and more expensive (relatively) on vector ISAs."""
+    src = """
+uniform float f1;
+uniform float f2;
+uniform vec4 v;
+out vec4 f;
+void main() { f = f1 * (f2 * v); }
+"""
+    base = build(src)
+    grouped = build(src, fp_reassociate=True)
+    spec_v = GPUSpec(name="v", isa="vector", scalar_op_penalty=2.0)
+
+    scalar_delta = (estimate_kernel(base, SCALAR_SPEC).cycles_per_fragment
+                    - estimate_kernel(grouped, SCALAR_SPEC).cycles_per_fragment)
+    vector_delta = (estimate_kernel(base, spec_v).cycles_per_fragment
+                    - estimate_kernel(grouped, spec_v).cycles_per_fragment)
+    assert scalar_delta > 0        # scalar ISA: grouping wins
+    assert vector_delta < 0        # vector ISA: grouping loses
+
+
+def test_register_pressure_reduces_occupancy():
+    fn = build("""
+uniform sampler2D t;
+in vec2 uv;
+out vec4 f;
+void main() {
+    vec4 a = texture(t, uv);
+    vec4 b = texture(t, uv * 2.0);
+    vec4 c = texture(t, uv * 3.0);
+    vec4 d = texture(t, uv * 4.0);
+    f = (a + b) * (c + d) + a * b + c * d;
+}
+""")
+    tight = GPUSpec(name="tight", isa="scalar", reg_file=32,
+                    warps_full_hiding=8, max_warps=8)
+    roomy = GPUSpec(name="roomy", isa="scalar", reg_file=1024,
+                    warps_full_hiding=8, max_warps=8)
+    assert estimate_kernel(fn, tight).occupancy < estimate_kernel(fn, roomy).occupancy
+    assert (estimate_kernel(fn, tight).cycles_per_fragment
+            > estimate_kernel(fn, roomy).cycles_per_fragment)
+
+
+def test_divergent_branch_costs_more_than_uniform():
+    uniform_loop = build("""
+out vec4 f;
+uniform int n;
+void main() {
+    float acc = 0.0;
+    for (int i = 0; i < n; i++) { acc += 1.0; }
+    f = vec4(acc);
+}
+""")
+    divergent = build("""
+in vec2 uv;
+out vec4 f;
+void main() {
+    float x = 0.0;
+    if (uv.x > 0.5) { x = 1.0; }
+    f = vec4(x);
+}
+""")
+    spec = GPUSpec(name="s", isa="scalar", branch=1.0, divergent_branch=10.0)
+    uniform_branches = estimate_kernel(uniform_loop, spec,
+                                       profile=None).branch_cycles
+    divergent_branches = estimate_kernel(divergent, spec,
+                                         profile=None).branch_cycles
+    # One divergent branch costs more than one uniform loop branch.
+    assert divergent_branches > 10.0
+    assert uniform_branches < divergent_branches * len(uniform_loop.blocks)
+
+
+def test_icache_penalty_applies_to_huge_shaders():
+    fn = build("""
+uniform sampler2D t;
+in vec2 uv;
+out vec4 f;
+void main() {
+    vec4 acc = vec4(0.0);
+    for (int i = 0; i < 16; i++) { acc += texture(t, uv + vec2(float(i) * 0.01, 0.0)); }
+    f = acc;
+}
+""", unroll=True)
+    small_cache = GPUSpec(name="s", isa="scalar", icache_ops=16,
+                          icache_penalty=2.0)
+    big_cache = GPUSpec(name="b", isa="scalar", icache_ops=100000,
+                        icache_penalty=2.0)
+    assert (estimate_kernel(fn, small_cache).cycles_per_fragment
+            > estimate_kernel(fn, big_cache).cycles_per_fragment * 1.5)
+
+
+def test_profile_weights_blocks():
+    fn = build("""
+uniform float u;
+out vec4 f;
+void main() {
+    float x = 0.0;
+    if (u > 0.5) { x = sin(u) + cos(u) + sin(u * 2.0); }
+    f = vec4(x);
+}
+""")
+    then_block = [b.name for b in fn.blocks if "then" in b.name][0]
+    taken = {b.name: 1.0 for b in fn.blocks}
+    skipped = dict(taken)
+    skipped[then_block] = 0.0
+    spec = SCALAR_SPEC
+    assert (estimate_kernel(fn, spec, taken).cycles_per_fragment
+            > estimate_kernel(fn, spec, skipped).cycles_per_fragment)
+
+
+def test_draw_time_scales_with_fragments():
+    fn = build("out vec4 f;\nvoid main() { f = vec4(1.0); }")
+    cost = estimate_kernel(fn, SCALAR_SPEC)
+    assert draw_time_ns(cost, SCALAR_SPEC, 500 * 500) == pytest.approx(
+        draw_time_ns(cost, SCALAR_SPEC, 250) * 1000)
+
+
+def test_max_live_scalars_counts_widths():
+    fn = build("""
+uniform vec4 a;
+uniform vec4 b;
+out vec4 f;
+void main() { f = (a + b) * (a - b); }
+""")
+    assert max_live_scalars(fn) >= 8  # two vec4 temporaries live at once
+
+
+# ---------------------------------------------------------------------------
+# Vendor JITs
+# ---------------------------------------------------------------------------
+
+LOOP_SRC = """
+uniform sampler2D t;
+in vec2 uv;
+out vec4 f;
+void main() {
+    vec4 acc = vec4(0.0);
+    for (int i = 0; i < 9; i++) { acc += texture(t, uv + vec2(float(i) * 0.01, 0.0)); }
+    f = acc;
+}
+"""
+
+
+def _has_loop(function) -> bool:
+    from repro.ir.cfg import find_natural_loops
+
+    return bool(find_natural_loops(function))
+
+
+def test_amd_jit_does_not_unroll():
+    assert _has_loop(AMD.jit.compile(LOOP_SRC).function)
+
+
+def test_intel_and_nvidia_jits_unroll():
+    assert not _has_loop(INTEL.jit.compile(LOOP_SRC).function)
+    assert not _has_loop(NVIDIA.jit.compile(LOOP_SRC).function)
+
+
+def test_mali_jit_unrolls_only_tiny_loops():
+    assert _has_loop(ARM.jit.compile(LOOP_SRC).function)  # 9 trips > 4
+    tiny = LOOP_SRC.replace("i < 9", "i < 3")
+    assert not _has_loop(ARM.jit.compile(tiny).function)
+
+
+def test_no_jit_performs_unsafe_fp():
+    src = """
+uniform vec4 a;
+uniform vec4 b;
+uniform vec4 c;
+out vec4 f;
+void main() { f = a * b + a * c; }
+"""
+    from repro.ir.instructions import BinOp
+
+    for platform in all_platforms():
+        fn = platform.jit.compile(src).function
+        muls = [i for i in fn.instructions()
+                if isinstance(i, BinOp) and i.op == "mul"]
+        assert len(muls) == 2, platform.name  # never factored by a driver
+
+
+def test_all_jits_compile_whole_corpus():
+    from repro.corpus import default_corpus
+
+    for case in default_corpus(max_shaders=10):
+        for platform in all_platforms():
+            module = platform.jit.compile(case.source)
+            assert module.function.blocks
+
+
+# ---------------------------------------------------------------------------
+# Platforms & timing
+# ---------------------------------------------------------------------------
+
+
+def test_platform_lookup():
+    assert platform_by_name("arm").device.startswith("Mali")
+    assert platform_by_name("Intel").name == "Intel"
+    with pytest.raises(KeyError):
+        platform_by_name("voodoo3dfx")
+
+
+def test_five_platforms_match_paper():
+    names = {p.name for p in all_platforms()}
+    assert names == {"Intel", "AMD", "NVIDIA", "ARM", "Qualcomm"}
+    assert sum(p.is_mobile for p in all_platforms()) == 2
+
+
+def test_mobile_draw_count():
+    assert ARM.draws_per_frame == 100
+    assert NVIDIA.draws_per_frame == 1000
+
+
+def test_timer_noise_seeded_and_unbiased():
+    timer = TimerModel(sigma=0.02, overhead_ns=100.0, quantum_ns=10.0)
+    rng1, rng2 = random.Random(7), random.Random(7)
+    seq1 = [timer.measure(10000.0, rng1) for _ in range(50)]
+    seq2 = [timer.measure(10000.0, rng2) for _ in range(50)]
+    assert seq1 == seq2
+    mean = sum(seq1) / len(seq1)
+    assert 10000.0 < mean < 10400.0  # overhead + noise, no wild bias
+
+
+def test_timer_quantization():
+    timer = TimerModel(sigma=0.0, overhead_ns=0.0, quantum_ns=500.0)
+    rng = random.Random(1)
+    assert timer.measure(1234.0, rng) % 500.0 == 0.0
+
+
+def test_intel_is_quietest_platform():
+    sigmas = {p.name: p.timer.sigma for p in all_platforms()}
+    assert sigmas["Intel"] == min(sigmas.values())
+    assert sigmas["Qualcomm"] == max(sigmas.values())

@@ -1,0 +1,268 @@
+"""Reference interpreter tests: arithmetic, builtins, control flow, textures."""
+
+import math
+
+import pytest
+
+from conftest import run_source
+from repro.ir.textures import ProceduralTexture
+
+
+def scalar_expr(expr: str, prelude: str = "", **env):
+    out = run_source(
+        f"{prelude}\nout vec4 frag;\nvoid main() {{ frag = vec4({expr}); }}",
+        **env)
+    return out["frag"][0]
+
+
+def test_basic_arithmetic():
+    assert scalar_expr("1.0 + 2.0 * 3.0") == pytest.approx(7.0)
+    assert scalar_expr("(1.0 + 2.0) * 3.0") == pytest.approx(9.0)
+    assert scalar_expr("7.0 / 2.0") == pytest.approx(3.5)
+    assert scalar_expr("-(3.0)") == pytest.approx(-3.0)
+
+
+def test_integer_arithmetic_and_modulo():
+    assert scalar_expr("float(7 % 3)") == pytest.approx(1.0)
+    assert scalar_expr("float(7 / 2)") == pytest.approx(3.0)  # int division
+
+
+def test_division_by_zero_guarded():
+    value = scalar_expr("1.0 / 0.0")
+    assert value > 1e20  # deterministic large value, no crash
+
+
+@pytest.mark.parametrize("expr,expected", [
+    ("sin(0.0)", 0.0),
+    ("cos(0.0)", 1.0),
+    ("sqrt(9.0)", 3.0),
+    ("inversesqrt(4.0)", 0.5),
+    ("exp2(3.0)", 8.0),
+    ("log2(8.0)", 3.0),
+    ("abs(-2.5)", 2.5),
+    ("sign(-3.0)", -1.0),
+    ("floor(1.7)", 1.0),
+    ("ceil(1.2)", 2.0),
+    ("fract(1.75)", 0.75),
+    ("pow(2.0, 10.0)", 1024.0),
+    ("mod(5.5, 2.0)", 1.5),
+    ("min(1.0, 2.0)", 1.0),
+    ("max(1.0, 2.0)", 2.0),
+    ("clamp(5.0, 0.0, 1.0)", 1.0),
+    ("mix(0.0, 10.0, 0.25)", 2.5),
+    ("step(0.5, 0.7)", 1.0),
+    ("step(0.5, 0.3)", 0.0),
+    ("smoothstep(0.0, 1.0, 0.5)", 0.5),
+    ("radians(180.0)", math.pi),
+])
+def test_scalar_builtins(expr, expected):
+    assert scalar_expr(expr) == pytest.approx(expected, rel=1e-9)
+
+
+def test_vector_builtins():
+    assert scalar_expr("length(vec3(3.0, 4.0, 0.0))") == pytest.approx(5.0)
+    assert scalar_expr("dot(vec3(1.0, 2.0, 3.0), vec3(4.0, 5.0, 6.0))") == \
+        pytest.approx(32.0)
+    assert scalar_expr(
+        "distance(vec2(0.0), vec2(3.0, 4.0))") == pytest.approx(5.0)
+
+
+def test_normalize_and_cross():
+    out = run_source("""
+out vec4 frag;
+void main() {
+    vec3 n = normalize(vec3(0.0, 0.0, 5.0));
+    vec3 c = cross(vec3(1.0, 0.0, 0.0), vec3(0.0, 1.0, 0.0));
+    frag = vec4(n.z, c.x, c.y, c.z);
+}
+""")
+    assert out["frag"] == pytest.approx((1.0, 0.0, 0.0, 1.0))
+
+
+def test_reflect():
+    out = run_source("""
+out vec4 frag;
+void main() {
+    vec3 r = reflect(vec3(1.0, -1.0, 0.0), vec3(0.0, 1.0, 0.0));
+    frag = vec4(r, 0.0);
+}
+""")
+    assert out["frag"][:2] == pytest.approx((1.0, 1.0))
+
+
+def test_swizzle_read_write():
+    out = run_source("""
+out vec4 frag;
+void main() {
+    vec4 v = vec4(1.0, 2.0, 3.0, 4.0);
+    vec2 s = v.wy;
+    v.xz = s;
+    frag = v;
+}
+""")
+    assert out["frag"] == pytest.approx((4.0, 2.0, 2.0, 4.0))
+
+
+def test_if_else_execution():
+    out = run_source("""
+out vec4 frag;
+uniform float u;
+void main() {
+    if (u > 0.25) { frag = vec4(1.0); } else { frag = vec4(2.0); }
+}
+""", uniforms={"u": 0.5})
+    assert out["frag"][0] == 1.0
+    out = run_source("""
+out vec4 frag;
+uniform float u;
+void main() {
+    if (u > 0.25) { frag = vec4(1.0); } else { frag = vec4(2.0); }
+}
+""", uniforms={"u": 0.0})
+    assert out["frag"][0] == 2.0
+
+
+def test_loop_accumulation():
+    out = run_source("""
+out vec4 frag;
+void main() {
+    float acc = 0.0;
+    for (int i = 0; i < 5; i++) { acc += float(i); }
+    frag = vec4(acc);
+}
+""")
+    assert out["frag"][0] == pytest.approx(10.0)
+
+
+def test_loop_break_continue():
+    out = run_source("""
+out vec4 frag;
+void main() {
+    float acc = 0.0;
+    for (int i = 0; i < 10; i++) {
+        if (i == 2) { continue; }
+        if (i == 5) { break; }
+        acc += float(i);
+    }
+    frag = vec4(acc);
+}
+""")
+    assert out["frag"][0] == pytest.approx(0.0 + 1.0 + 3.0 + 4.0)
+
+
+def test_nested_loops():
+    out = run_source("""
+out vec4 frag;
+void main() {
+    float acc = 0.0;
+    for (int i = 0; i < 3; i++) {
+        for (int j = 0; j < 3; j++) { acc += 1.0; }
+    }
+    frag = vec4(acc);
+}
+""")
+    assert out["frag"][0] == pytest.approx(9.0)
+
+
+def test_while_loop():
+    out = run_source("""
+out vec4 frag;
+void main() {
+    float x = 1.0;
+    int i = 0;
+    while (i < 4) { x = x * 2.0; i++; }
+    frag = vec4(x);
+}
+""")
+    assert out["frag"][0] == pytest.approx(16.0)
+
+
+def test_discard_returns_empty():
+    out = run_source("""
+out vec4 frag;
+void main() { discard; }
+""")
+    assert out == {}
+
+
+def test_early_return():
+    out = run_source("""
+out vec4 frag;
+uniform float u;
+void main() {
+    frag = vec4(1.0);
+    if (u > 0.25) { return; }
+    frag = vec4(2.0);
+}
+""", uniforms={"u": 1.0})
+    assert out["frag"][0] == 1.0
+
+
+def test_ternary_select():
+    assert scalar_expr("true ? 3.0 : 4.0") == 3.0
+    assert scalar_expr("1.0 > 2.0 ? 3.0 : 4.0") == 4.0
+
+
+def test_uniform_defaults_when_missing():
+    # Paper: uniforms default to 0.5 when unbound.
+    assert scalar_expr("u", prelude="uniform float u;") == 0.5
+
+
+def test_uniform_array_indexing():
+    out = run_source("""
+uniform vec3 ls[2];
+out vec4 frag;
+void main() { frag = vec4(ls[1], 0.0); }
+""", uniforms={"ls": [(1.0, 2.0, 3.0), (4.0, 5.0, 6.0)]})
+    assert out["frag"][:3] == pytest.approx((4.0, 5.0, 6.0))
+
+
+def test_texture_sampling_deterministic():
+    src = """
+uniform sampler2D t;
+in vec2 uv;
+out vec4 frag;
+void main() { frag = texture(t, uv); }
+"""
+    a = run_source(src, inputs={"uv": (0.25, 0.5)})
+    b = run_source(src, inputs={"uv": (0.25, 0.5)})
+    assert a == b
+    c = run_source(src, inputs={"uv": (0.75, 0.1)})
+    assert a != c
+
+
+def test_texture_alpha_is_opaque():
+    out = run_source("""
+uniform sampler2D t;
+out vec4 frag;
+void main() { frag = texture(t, vec2(0.3)); }
+""")
+    assert out["frag"][3] == 1.0
+
+
+def test_procedural_texture_wraps():
+    tex = ProceduralTexture(seed=0)
+    assert tex.sample((0.25, 0.5)) == pytest.approx(tex.sample((1.25, -0.5)))
+
+
+def test_matrix_uniform_multiply():
+    identity = ((1.0, 0.0, 0.0, 0.0), (0.0, 1.0, 0.0, 0.0),
+                (0.0, 0.0, 1.0, 0.0), (0.0, 0.0, 0.0, 1.0))
+    out = run_source("""
+uniform mat4 m;
+out vec4 frag;
+void main() { frag = m * vec4(1.0, 2.0, 3.0, 4.0); }
+""", uniforms={"m": identity})
+    assert out["frag"] == pytest.approx((1.0, 2.0, 3.0, 4.0))
+
+
+def test_mat3_constructor_and_multiply():
+    out = run_source("""
+out vec4 frag;
+void main() {
+    mat3 m = mat3(vec3(2.0, 0.0, 0.0), vec3(0.0, 3.0, 0.0), vec3(0.0, 0.0, 4.0));
+    vec3 v = m * vec3(1.0, 1.0, 1.0);
+    frag = vec4(v, 0.0);
+}
+""")
+    assert out["frag"][:3] == pytest.approx((2.0, 3.0, 4.0))

@@ -1,0 +1,110 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.glsl.lexer import tokenize
+from repro.glsl.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+def test_empty_source_yields_only_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind is TokenKind.EOF
+
+
+def test_identifier():
+    (tok,) = tokenize("fragColor")[:-1]
+    assert tok.kind is TokenKind.IDENT
+    assert tok.text == "fragColor"
+
+
+def test_keywords_and_types_distinguished():
+    toks = tokenize("uniform vec4 color;")
+    assert toks[0].kind is TokenKind.KEYWORD
+    assert toks[1].kind is TokenKind.TYPE
+    assert toks[2].kind is TokenKind.IDENT
+
+
+@pytest.mark.parametrize("text,kind", [
+    ("1", TokenKind.INT),
+    ("42u", TokenKind.INT),
+    ("1.0", TokenKind.FLOAT),
+    ("0.5f", TokenKind.FLOAT),
+    (".25", TokenKind.FLOAT),
+    ("1e3", TokenKind.FLOAT),
+    ("2.5e-4", TokenKind.FLOAT),
+    ("3E+2", TokenKind.FLOAT),
+])
+def test_number_literals(text, kind):
+    (tok,) = tokenize(text)[:-1]
+    assert tok.kind is kind
+    assert tok.text == text
+
+
+def test_bool_literals():
+    toks = tokenize("true false")[:-1]
+    assert all(t.kind is TokenKind.BOOL for t in toks)
+
+
+@pytest.mark.parametrize("op", ["==", "!=", "<=", ">=", "&&", "||", "++",
+                                "--", "+=", "-=", "*=", "/=", "^^"])
+def test_multichar_operators(op):
+    (tok,) = tokenize(op)[:-1]
+    assert tok.kind is TokenKind.OP
+    assert tok.text == op
+
+
+def test_greedy_operator_matching():
+    assert texts("a+=b") == ["a", "+=", "b"]
+    assert texts("a+ =b") == ["a", "+", "=", "b"]
+    assert texts("i++;") == ["i", "++", ";"]
+
+
+def test_line_and_column_tracking():
+    toks = tokenize("a\n  b")
+    assert (toks[0].line, toks[0].col) == (1, 1)
+    assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+def test_line_comment_skipped():
+    assert texts("a // comment\nb") == ["a", "b"]
+
+
+def test_block_comment_skipped_and_lines_counted():
+    toks = tokenize("a /* x\ny */ b")
+    assert toks[1].text == "b"
+    assert toks[1].line == 2
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexerError):
+        tokenize("a /* never closed")
+
+
+def test_directive_rejected():
+    with pytest.raises(LexerError):
+        tokenize("#define X 1")
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexerError):
+        tokenize("a @ b")
+
+
+def test_swizzle_tokenizes_as_dot_ident():
+    assert texts("v.xyz") == ["v", ".", "xyz"]
+
+
+def test_float_then_member_not_confused():
+    # `1.x` lexes as float "1." followed by ident (GLSL would reject later).
+    toks = texts("v2.x")
+    assert toks == ["v2", ".", "x"]

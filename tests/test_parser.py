@@ -1,0 +1,259 @@
+"""Parser and type-inference unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.glsl import ast
+from repro.glsl import types as T
+from repro.glsl.parser import parse_shader, swizzle_indices
+
+
+def parse_main(body: str, prelude: str = "") -> ast.FunctionDef:
+    shader = parse_shader(f"{prelude}\nvoid main() {{ {body} }}")
+    fn = shader.function("main")
+    assert fn is not None
+    return fn
+
+
+def first_stmt(body: str, prelude: str = ""):
+    return parse_main(body, prelude).body.body[0]
+
+
+def test_global_qualifiers():
+    shader = parse_shader(
+        "uniform vec4 color; in vec2 uv; out vec4 frag;\nvoid main() {}")
+    assert [g.qualifier for g in shader.globals] == ["uniform", "in", "out"]
+    assert shader.uniforms[0].name == "color"
+    assert shader.inputs[0].ty == T.VEC2
+    assert shader.outputs[0].name == "frag"
+
+
+def test_layout_qualifier_skipped():
+    shader = parse_shader("layout(location = 0) out vec4 frag;\nvoid main() {}")
+    assert shader.outputs[0].name == "frag"
+
+
+def test_precision_statement_skipped():
+    shader = parse_shader("precision highp float;\nvoid main() {}")
+    assert shader.globals == []
+
+
+def test_struct_rejected():
+    with pytest.raises(ParseError):
+        parse_shader("struct Light { vec3 pos; };\nvoid main() {}")
+
+
+def test_local_declaration_type():
+    stmt = first_stmt("vec3 v = vec3(1.0);")
+    assert isinstance(stmt, ast.DeclStmt)
+    assert stmt.declarators[0].ty == T.VEC3
+
+
+def test_int_literal_types():
+    stmt = first_stmt("int i = 3;")
+    assert stmt.declarators[0].init.ty == T.INT
+
+
+def test_implicit_int_to_float_coercion():
+    stmt = first_stmt("float f = 3;")
+    init = stmt.declarators[0].init
+    assert init.ty == T.FLOAT
+    assert isinstance(init, ast.Call) and init.is_constructor
+
+
+def test_binary_precedence():
+    stmt = first_stmt("float f = 1.0 + 2.0 * 3.0;")
+    init = stmt.declarators[0].init
+    assert isinstance(init, ast.Binary) and init.op == "+"
+    assert isinstance(init.right, ast.Binary) and init.right.op == "*"
+
+
+def test_comparison_yields_bool():
+    stmt = first_stmt("bool b = 1.0 < 2.0;")
+    assert stmt.declarators[0].init.ty == T.BOOL
+
+
+def test_vector_scalar_multiply_type():
+    stmt = first_stmt("vec4 v = vec4(1.0) * 2.0;")
+    assert stmt.declarators[0].init.ty == T.VEC4
+
+
+def test_vector_size_mismatch_rejected():
+    with pytest.raises(ParseError):
+        parse_main("vec3 v = vec3(1.0) + vec2(1.0);")
+
+
+def test_matrix_vector_multiply_type():
+    stmt = first_stmt("vec4 v = m * vec4(1.0);", "uniform mat4 m;")
+    assert stmt.declarators[0].init.ty == T.VEC4
+
+
+def test_vector_matrix_multiply_type():
+    stmt = first_stmt("vec3 v = vec3(1.0) * m;", "uniform mat3 m;")
+    assert stmt.declarators[0].init.ty == T.VEC3
+
+
+def test_matrix_matrix_multiply_type():
+    stmt = first_stmt("mat3 r = m * m;", "uniform mat3 m;")
+    assert stmt.declarators[0].ty == T.MAT3
+
+
+def test_swizzle_types():
+    stmt = first_stmt("vec2 v = w.xy;", "uniform vec4 w;")
+    assert stmt.declarators[0].init.ty == T.VEC2
+    stmt = first_stmt("float f = w.z;", "uniform vec4 w;")
+    assert stmt.declarators[0].init.ty == T.FLOAT
+
+
+def test_swizzle_out_of_range_rejected():
+    with pytest.raises(ParseError):
+        parse_main("float f = v.z;", "uniform vec2 v;")
+
+
+def test_rgba_swizzle_set():
+    stmt = first_stmt("vec3 v = w.rgb;", "uniform vec4 w;")
+    assert stmt.declarators[0].init.ty == T.VEC3
+
+
+def test_mixed_swizzle_sets_rejected():
+    with pytest.raises(ParseError):
+        parse_main("vec2 v = w.xg;", "uniform vec4 w;")
+
+
+def test_swizzle_indices_helper():
+    assert swizzle_indices("xyz") == [0, 1, 2]
+    assert swizzle_indices("rbg") == [0, 2, 1]
+    assert swizzle_indices("st") == [0, 1]
+
+
+def test_index_into_vector():
+    stmt = first_stmt("float f = v[1];", "uniform vec4 v;")
+    assert stmt.declarators[0].init.ty == T.FLOAT
+
+
+def test_index_into_matrix_gives_column():
+    stmt = first_stmt("vec4 c = m[2];", "uniform mat4 m;")
+    assert stmt.declarators[0].init.ty == T.VEC4
+
+
+def test_array_declaration_and_index():
+    fn = parse_main("float a[3]; a[0] = 1.0; float x = a[1];")
+    decl = fn.body.body[0]
+    assert decl.declarators[0].ty == T.Array(T.FLOAT, 3)
+
+
+def test_array_literal_sizes_unsized_array():
+    stmt = first_stmt("const vec2[] offs = vec2[](vec2(0.0), vec2(1.0));")
+    assert stmt.declarators[0].ty == T.Array(T.VEC2, 2)
+
+
+def test_array_literal_size_mismatch_rejected():
+    with pytest.raises(ParseError):
+        parse_main("const float[3] w = float[3](1.0, 2.0);")
+
+
+def test_constructor_component_counting():
+    stmt = first_stmt("vec4 v = vec4(a, 1.0, 2.0);", "uniform vec2 a;")
+    assert stmt.declarators[0].init.ty == T.VEC4
+
+
+def test_constructor_too_few_components_rejected():
+    with pytest.raises(ParseError):
+        parse_main("vec4 v = vec4(1.0, 2.0);")
+
+
+def test_scalar_splat_constructor_allowed():
+    stmt = first_stmt("vec4 v = vec4(0.5);")
+    assert stmt.declarators[0].init.ty == T.VEC4
+
+
+def test_builtin_call_type_resolution():
+    stmt = first_stmt("vec3 v = normalize(w);", "uniform vec3 w;")
+    assert stmt.declarators[0].init.ty == T.VEC3
+    stmt = first_stmt("float f = dot(w, w);", "uniform vec3 w;")
+    assert stmt.declarators[0].init.ty == T.FLOAT
+
+
+def test_texture_call_type():
+    stmt = first_stmt("vec4 c = texture(t, vec2(0.5));",
+                      "uniform sampler2D t;")
+    assert stmt.declarators[0].init.ty == T.VEC4
+
+
+def test_shadow_sampler_returns_float():
+    stmt = first_stmt("float c = texture(t, vec3(0.5));",
+                      "uniform sampler2DShadow t;")
+    assert stmt.declarators[0].init.ty == T.FLOAT
+
+
+def test_user_function_call():
+    shader = parse_shader("""
+float half_of(float x) { return x * 0.5; }
+void main() { float y = half_of(4.0); }
+""")
+    assert shader.function("half_of") is not None
+
+
+def test_call_to_undeclared_function_rejected():
+    with pytest.raises(ParseError):
+        parse_main("float y = nothere(1.0);")
+
+
+def test_undeclared_identifier_rejected():
+    with pytest.raises(ParseError):
+        parse_main("float y = ghost;")
+
+
+def test_ternary_type_unification():
+    stmt = first_stmt("float f = true ? 1.0 : 2;")
+    assert stmt.declarators[0].init.ty == T.FLOAT
+
+
+def test_assignment_statement_forms():
+    fn = parse_main("float f = 0.0; f += 1.0; f *= 2.0;")
+    assert isinstance(fn.body.body[1], ast.AssignStmt)
+    assert fn.body.body[1].op == "+="
+
+
+def test_if_else_structure():
+    stmt = first_stmt("if (true) { } else { }")
+    assert isinstance(stmt, ast.IfStmt)
+    assert stmt.else_body is not None
+
+
+def test_if_without_braces():
+    stmt = first_stmt("if (true) discard;")
+    assert isinstance(stmt, ast.IfStmt)
+    assert isinstance(stmt.then_body.body[0], ast.DiscardStmt)
+
+
+def test_for_loop_structure():
+    stmt = first_stmt("for (int i = 0; i < 4; i++) { }")
+    assert isinstance(stmt, ast.ForStmt)
+    assert isinstance(stmt.init, ast.DeclStmt)
+    assert stmt.cond.ty == T.BOOL
+
+
+def test_while_loop_structure():
+    stmt = first_stmt("while (false) { }")
+    assert isinstance(stmt, ast.WhileStmt)
+
+
+def test_do_while_rejected():
+    with pytest.raises(ParseError):
+        parse_main("do { } while (true);")
+
+
+def test_logical_ops_require_bool():
+    with pytest.raises(ParseError):
+        parse_main("bool b = 1.0 && 2.0;")
+
+
+def test_modulo_requires_int():
+    with pytest.raises(ParseError):
+        parse_main("float f = 1.0 % 2.0;")
+
+
+def test_loop_scope_isolated():
+    with pytest.raises(ParseError):
+        parse_main("for (int i = 0; i < 3; i++) { } int j = i;")

@@ -1,0 +1,142 @@
+"""Preprocessor unit tests."""
+
+import pytest
+
+from repro.errors import PreprocessorError
+from repro.glsl.preprocessor import preprocess
+
+
+def text(source, defines=None):
+    return preprocess(source, defines).text
+
+
+def test_passthrough():
+    assert text("float x;\n") == "float x;\n"
+
+
+def test_version_extracted():
+    result = preprocess("#version 450\nfloat x;\n")
+    assert result.version == "450"
+    assert "version" not in result.text
+
+
+def test_object_macro_expansion():
+    assert "float x = 3;" in text("#define N 3\nfloat x = N;\n")
+
+
+def test_macro_word_boundary():
+    out = text("#define N 3\nfloat NN = N;\n")
+    assert "NN = 3" in out
+
+
+def test_nested_macro_expansion():
+    out = text("#define A B\n#define B 7\nint x = A;\n")
+    assert "x = 7" in out
+
+
+def test_recursive_macro_raises():
+    with pytest.raises(PreprocessorError):
+        text("#define A A\nint x = A;\n")
+
+
+def test_function_macro():
+    out = text("#define SQ(x) ((x) * (x))\nfloat y = SQ(2.0);\n")
+    assert "((2.0) * (2.0))" in out
+
+
+def test_function_macro_two_args():
+    out = text("#define ADD(a, b) (a + b)\nfloat y = ADD(1.0, 2.0);\n")
+    assert "(1.0 + 2.0)" in out
+
+
+def test_function_macro_nested_parens_in_arg():
+    out = text("#define ID(x) x\nfloat y = ID(f(1, 2));\n")
+    assert "f(1, 2)" in out
+
+
+def test_function_macro_wrong_arity_raises():
+    with pytest.raises(PreprocessorError):
+        text("#define ADD(a, b) (a + b)\nfloat y = ADD(1.0);\n")
+
+
+def test_ifdef_taken_and_skipped():
+    src = "#ifdef FOO\nint a;\n#endif\nint b;\n"
+    assert "int a;" not in text(src)
+    assert "int a;" in text(src, {"FOO": ""})
+
+
+def test_ifndef():
+    src = "#ifndef FOO\nint a;\n#endif\n"
+    assert "int a;" in text(src)
+    assert "int a;" not in text(src, {"FOO": ""})
+
+
+def test_else_branch():
+    src = "#ifdef FOO\nint a;\n#else\nint b;\n#endif\n"
+    assert "int b;" in text(src)
+    assert "int a;" in text(src, {"FOO": ""})
+    assert "int b;" not in text(src, {"FOO": ""})
+
+
+def test_if_with_comparison():
+    src = "#define N 5\n#if N > 3\nint big;\n#endif\n"
+    assert "int big;" in text(src)
+    src2 = "#define N 2\n#if N > 3\nint big;\n#endif\n"
+    assert "int big;" not in text(src2)
+
+
+def test_elif_chain():
+    src = ("#define N 5\n#if N == 3\nint three;\n#elif N == 5\nint five;\n"
+           "#else\nint other;\n#endif\n")
+    out = text(src)
+    assert "int five;" in out
+    assert "int three;" not in out
+    assert "int other;" not in out
+
+
+def test_defined_operator():
+    src = "#if defined(FOO) && !defined(BAR)\nint x;\n#endif\n"
+    assert "int x;" in text(src, {"FOO": ""})
+    assert "int x;" not in text(src, {"FOO": "", "BAR": ""})
+
+
+def test_nested_conditionals():
+    src = ("#ifdef A\n#ifdef B\nint ab;\n#endif\nint a;\n#endif\n")
+    out = text(src, {"A": "", "B": ""})
+    assert "int ab;" in out and "int a;" in out
+    out = text(src, {"A": ""})
+    assert "int ab;" not in out and "int a;" in out
+
+
+def test_undef():
+    src = "#define X 1\n#undef X\n#ifdef X\nint a;\n#endif\n"
+    assert "int a;" not in text(src)
+
+
+def test_unterminated_if_raises():
+    with pytest.raises(PreprocessorError):
+        text("#ifdef FOO\nint a;\n")
+
+
+def test_else_without_if_raises():
+    with pytest.raises(PreprocessorError):
+        text("#else\n")
+
+
+def test_line_continuation_in_define():
+    src = "#define LONG 1 + \\\n 2\nint x = LONG;\n"
+    assert " ".join(text(src).split()) == "int x = 1 + 2;"
+
+
+def test_block_comments_removed_before_directives():
+    src = "/* #define X 1 */\n#ifdef X\nint a;\n#endif\n"
+    assert "int a;" not in text(src)
+
+
+def test_undefined_identifier_in_if_is_zero():
+    assert "int a;" not in text("#if UNDEFINED_THING\nint a;\n#endif\n")
+
+
+def test_extension_recorded():
+    result = preprocess("#extension GL_EXT_foo : enable\n")
+    assert result.extensions == ["GL_EXT_foo : enable"]

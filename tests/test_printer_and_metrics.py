@@ -1,0 +1,102 @@
+"""Printer round-trips, float formatting, LoC metric, introspection."""
+
+import pytest
+
+from repro.glsl import lines_of_code, parse_shader, preprocess, print_shader
+from repro.glsl import shader_interface
+from repro.glsl.printer import format_float
+
+
+SAMPLES = [
+    "uniform vec4 c;\nout vec4 frag;\nvoid main() { frag = c * 2.0; }",
+    """uniform sampler2D t;
+in vec2 uv;
+out vec4 frag;
+void main() {
+    vec4 acc = vec4(0.0);
+    for (int i = 0; i < 4; i++) { acc += texture(t, uv) * float(i); }
+    if (acc.x > 1.0) { acc = acc * 0.5; } else { acc.y = 0.0; }
+    frag = acc;
+}""",
+    """out vec4 frag;
+float helper(float x) { return x * x; }
+void main() { frag = vec4(helper(2.0)); }""",
+]
+
+
+@pytest.mark.parametrize("source", SAMPLES)
+def test_print_parse_roundtrip_is_stable(source):
+    once = print_shader(parse_shader(source))
+    twice = print_shader(parse_shader(once))
+    assert once == twice
+
+
+def test_float_formatting_always_has_decimal():
+    assert format_float(1.0) == "1.0"
+    assert format_float(0.5) == "0.5"
+    assert "." in format_float(3.0) or "e" in format_float(3.0)
+
+
+def test_float_formatting_roundtrips_value():
+    for value in (0.1, 1e-8, 12345.678, -0.25):
+        assert float(format_float(value)) == value
+
+
+def test_loc_counts_executable_lines_only():
+    src = """
+uniform vec4 c;
+in vec2 uv;
+out vec4 frag;
+
+// a comment
+void main()
+{
+    frag = c;
+}
+"""
+    # counted: "void main()" and "frag = c;"
+    assert lines_of_code(src) == 2
+
+
+def test_loc_runs_preprocessor_first():
+    src = "#ifdef BIG\nfloat a; float b; float c;\n#endif\nvoid main() { }\n"
+    assert lines_of_code(src) == 1
+
+
+def test_loc_counts_unused_functions():
+    src = """
+out vec4 frag;
+float unused(float x)
+{
+    return x * 2.0;
+}
+void main()
+{
+    frag = vec4(0.0);
+}
+"""
+    with_unused = lines_of_code(src)
+    without = lines_of_code(src.replace(
+        "float unused(float x)\n{\n    return x * 2.0;\n}\n", ""))
+    assert with_unused == without + 2  # signature + return line
+
+
+def test_loc_ignores_brace_only_lines():
+    assert lines_of_code("void main()\n{\n}\n") == 1
+
+
+def test_interface_collection():
+    shader = parse_shader(
+        "uniform sampler2D t;\nuniform vec4 c;\nin vec2 uv;\nout vec4 f;\n"
+        "void main() { f = c; }")
+    iface = shader_interface(shader)
+    assert [u.name for u in iface.uniforms] == ["t", "c"]
+    assert [s.name for s in iface.samplers] == ["t"]
+    assert [i.name for i in iface.inputs] == ["uv"]
+    assert [o.name for o in iface.outputs] == ["f"]
+
+
+def test_interface_sampler_arrays():
+    shader = parse_shader("uniform sampler2D tex;\nvoid main() { }")
+    iface = shader_interface(shader)
+    assert iface.samplers[0].is_sampler

@@ -1,0 +1,128 @@
+"""Property-based tests (hypothesis): the invariants the whole study rests on.
+
+1. Every flag combination preserves shader semantics (safe passes exactly,
+   unsafe passes within small relative tolerance).
+2. The emitted GLSL re-parses and evaluates identically.
+3. Random arithmetic expressions survive the optimizer.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from conftest import assert_outputs_close
+from repro.core import ShaderCompiler, compile_shader
+from repro.corpus import MOTIVATING_SHADER, default_corpus
+from repro.glsl import parse_shader, preprocess
+from repro.ir import Interpreter, verify_function
+from repro.passes import OptimizationFlags
+
+_CORPUS = {c.name: c for c in default_corpus()}
+_SAMPLE_NAMES = sorted(_CORPUS)[::5]  # every 5th shader, deterministic
+_COMPILERS = {}
+
+
+def _compiler(name):
+    if name not in _COMPILERS:
+        _COMPILERS[name] = ShaderCompiler(_CORPUS[name].source)
+    return _COMPILERS[name]
+
+
+def _run(module, uv):
+    from repro.harness.uniforms import (
+        default_textures, default_uniform_values, fragment_inputs,
+    )
+    iface = module.interface
+    interp = Interpreter(module, uniforms=default_uniform_values(iface),
+                         inputs=fragment_inputs(iface, uv),
+                         textures=default_textures(iface))
+    return interp.run()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    name=st.sampled_from(_SAMPLE_NAMES),
+    index=st.integers(min_value=0, max_value=255),
+    uv=st.tuples(st.floats(0.05, 0.95), st.floats(0.05, 0.95)),
+)
+def test_any_flag_combination_preserves_semantics(name, index, uv):
+    compiler = _compiler(name)
+    flags = OptimizationFlags.from_index(index)
+    base = compiler.compile(OptimizationFlags.none())
+    opt = compiler.compile(flags)
+    verify_function(opt.module.function)
+    out_base = _run(base.module, uv)
+    out_opt = _run(opt.module, uv)
+    tol = 1e-4 if (flags.fp_reassociate or flags.div_to_mul
+                   or flags.reassociate) else 1e-7
+    assert_outputs_close(out_base, out_opt, tol=tol)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    name=st.sampled_from(_SAMPLE_NAMES),
+    index=st.integers(min_value=0, max_value=255),
+    uv=st.tuples(st.floats(0.05, 0.95), st.floats(0.05, 0.95)),
+)
+def test_emitted_glsl_reparses_to_same_behaviour(name, index, uv):
+    compiler = _compiler(name)
+    compiled = compiler.compile(OptimizationFlags.from_index(index))
+    reparsed = compile_shader(compiled.output, OptimizationFlags.none())
+    verify_function(reparsed.module.function)
+    assert_outputs_close(_run(compiled.module, uv),
+                         _run(reparsed.module, uv), tol=1e-7)
+
+
+# ---------------------------------------------------------------------------
+# Random expression fuzzing
+# ---------------------------------------------------------------------------
+
+_LEAVES = ("u0", "u1", "uv.x", "uv.y", "0.5", "2.0", "1.0", "0.0", "3.5")
+_UNARY = ("abs({})", "-({})", "fract({})", "floor({})", "min({}, 4.0)",
+          "clamp({}, 0.0, 8.0)")
+_BINARY = ("({}) + ({})", "({}) - ({})", "({}) * ({})", "({}) / ({})",
+           "min({}, {})", "max({}, {})", "mix({}, {}, 0.25)")
+
+
+@st.composite
+def float_exprs(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        return draw(st.sampled_from(_LEAVES))
+    if draw(st.booleans()):
+        template = draw(st.sampled_from(_UNARY))
+        return template.format(draw(float_exprs(depth - 1)))
+    template = draw(st.sampled_from(_BINARY))
+    return template.format(draw(float_exprs(depth - 1)),
+                           draw(float_exprs(depth - 1)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(expr=float_exprs(), index=st.integers(min_value=0, max_value=255),
+       u0=st.floats(-4.0, 4.0), u1=st.floats(0.01, 4.0))
+def test_random_expressions_survive_optimization(expr, index, u0, u1):
+    source = f"""
+uniform float u0;
+uniform float u1;
+in vec2 uv;
+out vec4 frag;
+void main() {{ frag = vec4({expr}); }}
+"""
+    compiler = ShaderCompiler(source)
+    flags = OptimizationFlags.from_index(index)
+    env = {"uniforms": {"u0": u0, "u1": u1}, "inputs": {"uv": (0.3, 0.6)}}
+    base = Interpreter(compiler.compile(OptimizationFlags.none()).module,
+                       **env).run()
+    opt_module = compiler.compile(flags).module
+    verify_function(opt_module.function)
+    opt = Interpreter(opt_module, **env).run()
+    for a, b in zip(base["frag"], opt["frag"]):
+        if math.isfinite(a) and abs(a) < 1e12:
+            assert abs(a - b) <= 1e-4 * max(abs(a), 1.0)
+
+
+def test_unique_variant_flags_partition(blur_shader):
+    variants = ShaderCompiler(blur_shader).all_variants()
+    seen = []
+    for _, combos in variants.items():
+        seen.extend(f.index for f in combos)
+    assert sorted(seen) == list(range(256))
