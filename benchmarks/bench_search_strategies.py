@@ -1,0 +1,82 @@
+"""Search-strategy efficiency: evaluations to reach within 1% of optimum.
+
+The exhaustive study pays all 256 points per platform.  This benchmark
+replays each budgeted strategy against the completed study's flag-space
+landscape (a pure lookup objective — no recompilation) and reports how many
+unique evaluations each needs before its best-so-far flag set is within 1%
+of the exhaustive per-platform optimum, i.e. how much of the paper's
+brute-force budget a guided search actually requires.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.analysis.flags import mean_speedup
+from repro.harness.results import StudyResult
+from repro.passes import OptimizationFlags
+from repro.passes.flags import SPACE_SIZE
+from repro.reporting import render_table
+from repro.search import Genetic, GreedyHillClimb, RandomSampling
+
+#: Within-1% criterion, as a time ratio against the optimum.
+GAP_LIMIT = 0.01
+
+
+def landscape(study: StudyResult, platform: str) -> Callable[[int], float]:
+    scores = [mean_speedup(study, platform, OptimizationFlags.from_index(i))
+              for i in range(SPACE_SIZE)]
+    return lambda index: scores[index]
+
+
+def within_one_pct_threshold(optimum_score: float) -> float:
+    """The lowest mean-speedup score whose time ratio to the optimum
+    is within GAP_LIMIT."""
+    optimum_factor = 1.0 + optimum_score / 100.0
+    return (optimum_factor / (1.0 + GAP_LIMIT) - 1.0) * 100.0
+
+
+def test_evaluations_to_within_one_pct_of_optimum(benchmark, study):
+    strategies = [RandomSampling(seed=2018), GreedyHillClimb(seed=2018),
+                  Genetic(seed=2018)]
+    # Landscapes come straight off the completed study, outside the timed
+    # region — the benchmark measures the searches, not the table lookups.
+    landscapes = {}
+    for platform in study.platforms:
+        objective = landscape(study, platform)
+        optimum = max(objective(i) for i in range(SPACE_SIZE))
+        landscapes[platform] = (objective, within_one_pct_threshold(optimum))
+
+    def compute() -> Dict[str, Dict[str, int]]:
+        needed: Dict[str, Dict[str, int]] = {}
+        for platform, (objective, threshold) in landscapes.items():
+            needed[platform] = {}
+            for strategy in strategies:
+                outcome = strategy.search(objective, budget=SPACE_SIZE)
+                count = outcome.evaluations_to_reach(threshold)
+                needed[platform][strategy.name] = (
+                    count if count is not None else SPACE_SIZE + 1)
+        return needed
+
+    needed = benchmark(compute)
+
+    names = [s.name for s in strategies]
+    rows = [[platform] + [needed[platform][name] for name in names]
+            for platform in study.platforms]
+    print()
+    print(render_table(
+        ["platform"] + names, rows,
+        title="Evaluations to reach within 1% of the exhaustive optimum "
+              f"(space = {SPACE_SIZE} points)"))
+
+    for platform in study.platforms:
+        for name in names:
+            count = needed[platform][name]
+            assert count <= SPACE_SIZE, (
+                f"{name} never reached within 1% on {platform}")
+            # Every budgeted strategy should beat the paper's brute-force
+            # spend by at least 4x on every platform.
+            assert count <= SPACE_SIZE // 4, (
+                f"{name} needed {count} evaluations on {platform}")
+        assert needed[platform]["genetic"] <= 64, (
+            "the acceptance criterion: genetic within 1% in <= 25% of space")

@@ -1,0 +1,22 @@
+#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D tex;
+uniform vec4 ambient;
+
+void main()
+{
+    const vec4[] weights = vec4[](
+        vec4(0.01), vec4(0.15), vec4(0.42), vec4(0.63), vec4(1.83),
+        vec4(0.63), vec4(0.42), vec4(0.15), vec4(0.01));
+    const vec2[] offsets = vec2[](
+        vec2(-0.0083), vec2(-0.0062), vec2(-0.0041), vec2(-0.0021),
+        vec2(0.0), vec2(0.0021), vec2(0.0041), vec2(0.0062), vec2(0.0083));
+    float weightTotal = 0.0;
+    fragColor = vec4(0.0);
+    for (int i = 0; i < 9; i++) {
+        weightTotal += weights[i][0];
+        fragColor += weights[i] * texture(tex, uv + offsets[i]) * 3.0 * ambient;
+    }
+    fragColor /= weightTotal;
+}

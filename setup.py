@@ -1,0 +1,8 @@
+"""Shim for environments without the `wheel` package, where pip's PEP 660
+editable path can't build: `python setup.py develop` installs straight from
+the pyproject.toml metadata.  Normal installs should use `pip install -e .`.
+"""
+
+from setuptools import setup
+
+setup()

@@ -10,6 +10,8 @@ Public API tour:
 - :mod:`repro.harness` — the isolated timing harness and exhaustive study.
 - :mod:`repro.corpus` — the GFXBench-4.0-style synthetic shader corpus.
 - :mod:`repro.analysis` — everything behind the paper's Figs. 3-9 / Table I.
+- :mod:`repro.search` — budgeted flag-space search: strategies, evaluation
+  engine, persistent result cache, and the parallel scheduler.
 """
 
 from repro.core import (
@@ -22,8 +24,11 @@ from repro.harness import (
     ShaderExecutionEnvironment, StudyConfig, StudyResult, run_study,
 )
 from repro.corpus import MOTIVATING_SHADER, default_corpus
+from repro.search import (
+    EvaluationEngine, ResultCache, Scheduler, SearchStrategy, make_strategy,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CompiledShader", "ShaderCompiler", "compile_shader", "optimize_source",
@@ -32,5 +37,7 @@ __all__ = [
     "Platform", "all_platforms", "platform_by_name",
     "ShaderExecutionEnvironment", "StudyConfig", "StudyResult", "run_study",
     "MOTIVATING_SHADER", "default_corpus",
+    "EvaluationEngine", "ResultCache", "Scheduler", "SearchStrategy",
+    "make_strategy",
     "__version__",
 ]

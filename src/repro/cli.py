@@ -7,6 +7,8 @@ Commands mirror the paper's workflow:
 - ``time``      — time a shader on one or all simulated platforms.
 - ``study``     — run the exhaustive study over the corpus and print the
                   Fig. 5 / Table I summaries.
+- ``tune``      — search the flag space with a budgeted strategy and report
+                  the best-found flags against the exhaustive optimum.
 """
 
 from __future__ import annotations
@@ -23,7 +25,11 @@ from repro.gpu.platform import all_platforms, platform_by_name
 from repro.harness.environment import ShaderExecutionEnvironment
 from repro.harness.study import StudyConfig, run_study
 from repro.passes import ALL_FLAG_NAMES, DEFAULT_LUNARGLASS, OptimizationFlags
+from repro.passes.flags import SPACE_SIZE
 from repro.reporting import render_table
+from repro.search import (
+    STRATEGIES, EvaluationEngine, Exhaustive, ResultCache, make_strategy,
+)
 
 
 def parse_flags(text: str) -> OptimizationFlags:
@@ -42,6 +48,16 @@ def parse_flags(text: str) -> OptimizationFlags:
                 f"unknown flag {name!r}; choose from {', '.join(ALL_FLAG_NAMES)}")
         flags = flags.with_flag(name, True)
     return flags
+
+
+def _platforms_for(name: str):
+    """Resolve --platform into a platform list, with a clean CLI error."""
+    if name == "all":
+        return all_platforms()
+    try:
+        return [platform_by_name(name)]
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from None
 
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
@@ -65,8 +81,7 @@ def _cmd_time(args: argparse.Namespace) -> int:
     source = sys.stdin.read() if args.file == "-" else open(args.file).read()
     flags = parse_flags(args.flags)
     optimized = optimize_source(source, flags)
-    platforms = (all_platforms() if args.platform == "all"
-                 else [platform_by_name(args.platform)])
+    platforms = _platforms_for(args.platform)
     rows = []
     for platform in platforms:
         env = ShaderExecutionEnvironment(platform)
@@ -80,7 +95,9 @@ def _cmd_time(args: argparse.Namespace) -> int:
 
 def _cmd_study(args: argparse.Namespace) -> int:
     corpus = default_corpus(max_shaders=args.max_shaders or None)
-    study = run_study(corpus, StudyConfig(seed=args.seed, verbose=True))
+    study = run_study(corpus, StudyConfig(seed=args.seed, verbose=True,
+                                          max_workers=args.jobs,
+                                          cache_path=args.cache or None))
     print()
     rows = [(r.platform, r.best_possible, r.best_static, r.default_lunarglass)
             for r in average_speedups(study)]
@@ -94,6 +111,58 @@ def _cmd_study(args: argparse.Namespace) -> int:
     if args.output:
         open(args.output, "w").write(study.to_json())
         print(f"\nstudy saved to {args.output}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    if args.budget < 1:
+        raise SystemExit(f"error: --budget must be >= 1, got {args.budget}")
+    corpus = default_corpus(max_shaders=args.max_shaders or None)
+    platforms = _platforms_for(args.platform)
+    engine = EvaluationEngine(platforms=platforms, seed=args.seed,
+                              cache=ResultCache(args.cache or None))
+    strategy = make_strategy(args.strategy, seed=args.seed)
+
+    rows = []
+    worst_gap = 0.0
+    for platform in platforms:
+        objective = engine.corpus_objective(corpus, platform.name)
+        outcome = strategy.search(objective, budget=args.budget)
+        found_flags = OptimizationFlags.from_index(outcome.best_index)
+        if args.no_reference:
+            rows.append((platform.name, str(found_flags),
+                         f"{outcome.best_score:.2f}", "-", "-", "-",
+                         outcome.points_evaluated,
+                         f"{100.0 * outcome.fraction_of_space:.1f}%"))
+            continue
+        # Exhaustive reference shares the engine, so the strategy's points
+        # are cache hits and only the remainder of the space is measured.
+        reference = Exhaustive(seed=args.seed).search(objective)
+        optimum_flags = OptimizationFlags.from_index(reference.best_index)
+        # Gap as a time ratio: how much slower is the found set than the
+        # optimum?  Within 1% means gap <= 1.0.
+        found_factor = 1.0 + outcome.best_score / 100.0
+        optimum_factor = 1.0 + reference.best_score / 100.0
+        gap = (optimum_factor / found_factor - 1.0) * 100.0
+        worst_gap = max(worst_gap, gap)
+        rows.append((platform.name, str(found_flags),
+                     f"{outcome.best_score:.2f}", str(optimum_flags),
+                     f"{reference.best_score:.2f}", f"{gap:.2f}",
+                     outcome.points_evaluated,
+                     f"{100.0 * outcome.fraction_of_space:.1f}%"))
+
+    print(render_table(
+        ["platform", "best found", "mean %", "exhaustive optimum", "opt %",
+         "gap %", "evaluated", "of space"],
+        rows,
+        title=(f"tune: strategy={strategy.name} budget={args.budget} "
+               f"seed={args.seed} shaders={len(corpus)}")))
+    if not args.no_reference:
+        print(f"\nworst-platform gap to exhaustive optimum: {worst_gap:.2f}%")
+        budget_fraction = 100.0 * min(args.budget, SPACE_SIZE) / SPACE_SIZE
+        print(f"search budget: {args.budget}/{SPACE_SIZE} points "
+              f"({budget_fraction:.1f}% of the space)")
+    engine.cache.save()
     return 0
 
 
@@ -126,7 +195,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-shaders", type=int, default=0)
     p.add_argument("--seed", type=int, default=2018)
     p.add_argument("--output", default="", help="save study JSON here")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="measurement worker threads "
+                        "(default: $REPRO_JOBS or serial)")
+    p.add_argument("--cache", default="",
+                   help="persist the result cache to this JSON file")
     p.set_defaults(fn=_cmd_study)
+
+    p = sub.add_parser(
+        "tune", help="search the flag space under an evaluation budget")
+    p.add_argument("--strategy", default="genetic",
+                   choices=sorted(STRATEGIES),
+                   help="search strategy (default: genetic)")
+    p.add_argument("--budget", type=int, default=64,
+                   help="max unique flag combinations to evaluate")
+    p.add_argument("--platform", default="all",
+                   help="Intel|AMD|NVIDIA|ARM|Qualcomm|all")
+    p.add_argument("--max-shaders", type=int, default=0)
+    p.add_argument("--seed", type=int, default=2018)
+    p.add_argument("--cache", default="",
+                   help="persist the result cache to this JSON file")
+    p.add_argument("--no-reference", action="store_true",
+                   help="skip the exhaustive-optimum comparison run")
+    p.set_defaults(fn=_cmd_tune)
     return parser
 
 

@@ -52,10 +52,12 @@ class ShaderCompiler:
     def all_variants(self, es: bool = False) -> "VariantSet":
         """Compile all 256 combinations and deduplicate the emitted text."""
         by_text: Dict[str, List[OptimizationFlags]] = {}
+        index_to_text: Dict[int, str] = {}
         for flags in OptimizationFlags.all_combinations():
             compiled = self.compile(flags, es=es)
             by_text.setdefault(compiled.output, []).append(flags)
-        return VariantSet(by_text)
+            index_to_text[flags.index] = compiled.output
+        return VariantSet(by_text, index_to_text)
 
 
 @dataclass
@@ -63,16 +65,25 @@ class VariantSet:
     """Distinct emitted texts -> the flag combinations that produce them."""
 
     by_text: Dict[str, List[OptimizationFlags]]
+    #: flag index -> emitted text, for O(1) lookups (``text_for`` is on the
+    #: hot path of every per-combination analysis, 256x per shader).
+    index_to_text: Dict[int, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.index_to_text:
+            for text, combos in self.by_text.items():
+                for flags in combos:
+                    self.index_to_text[flags.index] = text
 
     @property
     def unique_count(self) -> int:
         return len(self.by_text)
 
     def text_for(self, flags: OptimizationFlags) -> str:
-        for text, combos in self.by_text.items():
-            if any(f.index == flags.index for f in combos):
-                return text
-        raise KeyError(f"flags {flags} not found in variant set")
+        try:
+            return self.index_to_text[flags.index]
+        except KeyError:
+            raise KeyError(f"flags {flags} not found in variant set") from None
 
     def items(self):
         return self.by_text.items()

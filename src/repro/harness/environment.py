@@ -15,6 +15,7 @@ and timed the execution of each draw-call":
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -83,7 +84,12 @@ class ShaderExecutionEnvironment:
         cost = estimate_kernel(module.function, self.platform.spec, profile)
         true_ns = draw_time_ns(cost, self.platform.spec,
                                self.platform.fragments_per_draw)
-        rng = random.Random((seed * 1_000_003) ^ hash(self.platform.name))
+        # A digest, not hash(): str hashing is salted per process, which
+        # would make measurements (and any persisted result cache) vary
+        # from run to run.
+        platform_digest = int.from_bytes(
+            hashlib.sha256(self.platform.name.encode()).digest()[:8], "big")
+        rng = random.Random((seed * 1_000_003) ^ platform_digest)
         measurement = run_protocol(true_ns, self.platform.timer, rng,
                                    draws_per_frame=self.platform.draws_per_frame)
         vertex_shader = generate_vertex_shader(module.interface)

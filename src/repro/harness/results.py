@@ -47,10 +47,20 @@ class ShaderResult:
         return len(self.variants)
 
     def variant_for_flags(self, flags: OptimizationFlags) -> VariantRecord:
-        for variant in self.variants:
-            if flags.index in variant.flag_indices:
-                return variant
-        raise KeyError(f"no variant for flags {flags} in shader {self.name}")
+        # Lazily built flag-index -> variant map; rebuilt whenever variants
+        # have been appended since the last lookup.
+        cached = self.__dict__.get("_variants_by_index")
+        if cached is None or cached[0] != len(self.variants):
+            mapping = {index: variant
+                       for variant in self.variants
+                       for index in variant.flag_indices}
+            cached = (len(self.variants), mapping)
+            self.__dict__["_variants_by_index"] = cached
+        try:
+            return cached[1][flags.index]
+        except KeyError:
+            raise KeyError(
+                f"no variant for flags {flags} in shader {self.name}") from None
 
     def speedup_pct(self, platform: str, flags: OptimizationFlags) -> float:
         """Percentage speed-up of *flags* over the unaltered shader."""

@@ -2,57 +2,80 @@
 
 For every corpus shader: compile all 256 flag combinations, deduplicate the
 emitted GLSL (most combinations collapse — Fig. 4c), then time every unique
-variant plus the unaltered original on every platform through the simulated
-execution environments.
+variant plus the unaltered original on every platform.
+
+The study now runs on the :mod:`repro.search` layers — the
+:class:`EvaluationEngine` (compile/measure with a content-addressed result
+cache) and the :class:`Scheduler`.  With ``max_workers > 1`` a process pool
+primes the engine first (the work is pure-Python and CPU-bound, so threads
+would serialize on the GIL): one task per unique shader source compiles the
+256-combination variant set, then one task per uncached (shader x variant x
+platform) unit measures it.  Assembly then reads everything back through
+the engine's cache.  Compiles and measurements are pure functions of their
+inputs, so serial runs, parallel runs, and the pre-refactor nested loop all
+produce byte-identical :class:`StudyResult` JSON.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.pipeline import ShaderCompiler
+from repro.core.pipeline import ShaderCompiler, VariantSet
 from repro.glsl.metrics import lines_of_code
-from repro.gpu.platform import Platform, all_platforms
+from repro.gpu.platform import Platform, all_platforms, platform_by_name
 from repro.harness.environment import ShaderExecutionEnvironment
 from repro.harness.results import ShaderCase, ShaderResult, StudyResult, VariantRecord
+from repro.search.cache import ResultCache, make_key, source_digest
+from repro.search.engine import EvaluationEngine
+from repro.search.scheduler import Scheduler, WorkUnit
 
 
 @dataclass
 class StudyConfig:
     platforms: Optional[Sequence[Platform]] = None
     seed: int = 2018
-    #: measure the emitted ES dialect on mobile platforms (the paper's
-    #: glslang+SPIRV-Cross conversion path); the default keeps one dialect
-    #: for all platforms, which dedups compiles across platforms.
     verbose: bool = False
+    #: worker processes for compile/measure sharding; 1 = serial, None =
+    #: honor the REPRO_JOBS environment variable (serial when unset).
+    max_workers: Optional[int] = None
+    #: optional on-disk JSON store for the result cache; repeated studies
+    #: and benchmark runs skip recompilation/re-measurement.
+    cache_path: Optional[str] = None
 
 
 def run_study(corpus: Sequence[ShaderCase],
-              config: Optional[StudyConfig] = None) -> StudyResult:
+              config: Optional[StudyConfig] = None,
+              engine: Optional[EvaluationEngine] = None,
+              scheduler: Optional[Scheduler] = None) -> StudyResult:
     config = config or StudyConfig()
     platforms = list(config.platforms or all_platforms())
+    if engine is None:
+        engine = EvaluationEngine(platforms=platforms, seed=config.seed,
+                                  cache=ResultCache(config.cache_path))
+    scheduler = scheduler or Scheduler(config.max_workers, kind="process")
+
+    if scheduler.parallel:
+        _prime_engine(corpus, platforms, engine, scheduler, config.seed,
+                      config.verbose)
+
     result = StudyResult(platforms=[p.name for p in platforms],
                          seed=config.seed)
-    environments = {p.name: ShaderExecutionEnvironment(p) for p in platforms}
-
     for case_index, case in enumerate(corpus):
         if config.verbose:
             print(f"[study] {case_index + 1}/{len(corpus)} {case.name}")
-        shader_result = _run_one(case, case_index, platforms, environments,
-                                 config.seed)
-        result.shaders.append(shader_result)
+        result.shaders.append(
+            _run_one(case, case_index, platforms, engine, config.seed))
+    engine.cache.save()
     return result
 
 
 def _run_one(case: ShaderCase, case_index: int, platforms: List[Platform],
-             environments: Dict[str, ShaderExecutionEnvironment],
-             seed: int) -> ShaderResult:
+             engine: EvaluationEngine, seed: int) -> ShaderResult:
     from repro.analysis.cycle_analyzer import arm_static_cycles
 
-    compiler = ShaderCompiler(case.source)
-    variant_set = compiler.all_variants()
+    variant_set = engine.variants_for(case)
 
     shader_result = ShaderResult(
         name=case.name,
@@ -61,30 +84,100 @@ def _run_one(case: ShaderCase, case_index: int, platforms: List[Platform],
         arm_static_cycles=arm_static_cycles(case.source),
     )
 
-    # Time the unaltered original on each platform.
     for platform in platforms:
-        env = environments[platform.name]
-        report = env.run(case.source, seed=_variant_seed(seed, case_index, -1))
-        shader_result.original_times_ns[platform.name] = report.measurement.mean_ns
+        sample = engine.measure(case.source, platform.name,
+                                _variant_seed(seed, case_index, -1))
+        shader_result.original_times_ns[platform.name] = sample.mean_ns
 
-    # Deterministic variant ordering: by smallest producing flag index.
-    ordered = sorted(variant_set.items(),
-                     key=lambda kv: min(f.index for f in kv[1]))
-    for variant_id, (text, combos) in enumerate(ordered):
+    for variant_id, (text, combos) in enumerate(_ordered_variants(variant_set)):
         record = VariantRecord(
             variant_id=variant_id,
             flag_indices=sorted(f.index for f in combos),
             text_hash=hashlib.sha256(text.encode()).hexdigest()[:16],
         )
         for platform in platforms:
-            env = environments[platform.name]
-            report = env.run(text, seed=_variant_seed(seed, case_index,
-                                                      variant_id))
-            record.times_ns[platform.name] = report.measurement.mean_ns
-            record.static_ops[platform.name] = report.cost.static_ops
-            record.registers[platform.name] = report.cost.registers
+            sample = engine.measure(text, platform.name,
+                                    _variant_seed(seed, case_index,
+                                                  variant_id))
+            record.times_ns[platform.name] = sample.mean_ns
+            record.static_ops[platform.name] = sample.static_ops
+            record.registers[platform.name] = sample.registers
         shader_result.variants.append(record)
     return shader_result
+
+
+def _ordered_variants(variant_set: VariantSet):
+    """Deterministic variant ordering: by smallest producing flag index."""
+    return sorted(variant_set.items(),
+                  key=lambda kv: min(f.index for f in kv[1]))
+
+
+# ---------------------------------------------------------------------------
+# Parallel priming: shard the CPU-bound work across a process pool, land
+# everything in the engine's memos/cache, and let assembly read it back.
+# ---------------------------------------------------------------------------
+
+
+def _prime_engine(corpus: Sequence[ShaderCase], platforms: List[Platform],
+                  engine: EvaluationEngine, scheduler: Scheduler, seed: int,
+                  verbose: bool) -> None:
+    # Phase 1: one task per unique un-memoized source compiles all 256
+    # combinations (the dominant cost: ~256 pass-pipeline runs each).
+    sources: List[str] = []
+    seen = set()
+    for case in corpus:
+        digest = source_digest(case.source)
+        if digest not in seen and not engine.has_variants(case.source):
+            seen.add(digest)
+            sources.append(case.source)
+    if verbose and sources:
+        print(f"[study] compiling {len(sources)} shaders "
+              f"x 256 combinations on {scheduler.max_workers} workers")
+    for source, index_to_text in zip(
+            sources, scheduler.map(_compile_case_variants, sources)):
+        engine.prime_variants(source, index_to_text)
+
+    # Phase 2: one task per uncached (shader x variant x platform) unit.
+    units: List[WorkUnit] = []
+    for case_index, case in enumerate(corpus):
+        variant_set = engine.variants_for(case)
+        units.extend(
+            WorkUnit(case_index=case_index, variant_id=-1,
+                     platform=platform.name, text=case.source,
+                     seed=_variant_seed(seed, case_index, -1))
+            for platform in platforms)
+        for variant_id, (text, _) in enumerate(_ordered_variants(variant_set)):
+            units.extend(
+                WorkUnit(case_index=case_index, variant_id=variant_id,
+                         platform=platform.name, text=text,
+                         seed=_variant_seed(seed, case_index, variant_id))
+                for platform in platforms)
+    pending = [unit for unit in units
+               if make_key(unit.text, -1, unit.platform, unit.seed)
+               not in engine.cache]
+    if verbose and pending:
+        print(f"[study] measuring {len(pending)} units "
+              f"on {scheduler.max_workers} workers")
+    for unit, measured in zip(pending, scheduler.map(_measure_unit, pending)):
+        mean_ns, static_ops, registers = measured
+        engine.cache.put(
+            make_key(unit.text, -1, unit.platform, unit.seed),
+            {"mean_ns": mean_ns, "static_ops": static_ops,
+             "registers": registers})
+
+
+def _compile_case_variants(source: str) -> Dict[int, str]:
+    """Pool worker: emitted text for all 256 combinations of one shader
+    (module-level so it pickles into process-pool workers)."""
+    return ShaderCompiler(source).all_variants().index_to_text
+
+
+def _measure_unit(unit: WorkUnit) -> Tuple[float, int, int]:
+    """Pool worker: measure one unit from scratch."""
+    env = ShaderExecutionEnvironment(platform_by_name(unit.platform))
+    report = env.run(unit.text, seed=unit.seed)
+    return (report.measurement.mean_ns, report.cost.static_ops,
+            report.cost.registers)
 
 
 def _variant_seed(seed: int, case_index: int, variant_id: int) -> int:

@@ -7,7 +7,16 @@ canonical passes (constant folding, local CSE, trivial DCE) in a fixed,
 deterministic order.
 """
 
-from repro.passes.flags import OptimizationFlags, ALL_FLAG_NAMES, DEFAULT_LUNARGLASS
+from repro.passes.flags import (
+    ALL_FLAG_NAMES, DEFAULT_LUNARGLASS, FLAG_COUNT, SPACE_SIZE,
+    OptimizationFlags, flip_bit, hamming_distance, mutate_index,
+    neighbor_indices, popcount, random_index, uniform_crossover,
+)
 from repro.passes.manager import run_passes
 
-__all__ = ["OptimizationFlags", "ALL_FLAG_NAMES", "DEFAULT_LUNARGLASS", "run_passes"]
+__all__ = [
+    "OptimizationFlags", "ALL_FLAG_NAMES", "DEFAULT_LUNARGLASS",
+    "FLAG_COUNT", "SPACE_SIZE", "run_passes",
+    "flip_bit", "neighbor_indices", "popcount", "hamming_distance",
+    "random_index", "uniform_crossover", "mutate_index",
+]

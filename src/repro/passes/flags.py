@@ -8,8 +8,14 @@ exhaustive search space of Section III-A.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, fields
 from typing import Iterator, Tuple
+
+#: Number of flags == bits in a combination index.
+FLAG_COUNT = 8
+#: Size of the exhaustive search space (2 ** FLAG_COUNT).
+SPACE_SIZE = 1 << FLAG_COUNT
 
 #: Canonical flag order used for combination indexing (bit 0 = adce).
 ALL_FLAG_NAMES: Tuple[str, ...] = (
@@ -87,6 +93,55 @@ class OptimizationFlags:
     def __str__(self) -> str:
         names = self.enabled()
         return "+".join(names) if names else "none"
+
+
+# ---------------------------------------------------------------------------
+# Flag-mask utilities: combination indices as 8-bit masks.  The search
+# strategies (repro.search.strategies) operate on these integers and decode
+# to OptimizationFlags only at evaluation time.
+# ---------------------------------------------------------------------------
+
+
+def flip_bit(index: int, bit: int) -> int:
+    """Toggle one flag in a combination index."""
+    if not 0 <= bit < FLAG_COUNT:
+        raise ValueError(f"bit {bit} out of range 0..{FLAG_COUNT - 1}")
+    return index ^ (1 << bit)
+
+
+def neighbor_indices(index: int) -> Tuple[int, ...]:
+    """All combination indices at Hamming distance 1 (each flag flipped)."""
+    return tuple(index ^ (1 << bit) for bit in range(FLAG_COUNT))
+
+
+def popcount(index: int) -> int:
+    """Number of enabled flags in a combination index."""
+    return bin(index & (SPACE_SIZE - 1)).count("1")
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Number of flags on which two combinations differ."""
+    return popcount(a ^ b)
+
+
+def random_index(rng: random.Random) -> int:
+    """A uniformly random combination index."""
+    return rng.randrange(SPACE_SIZE)
+
+
+def uniform_crossover(a: int, b: int, rng: random.Random) -> int:
+    """Each flag taken from parent *a* or *b* with equal probability."""
+    mask = rng.randrange(SPACE_SIZE)
+    return (a & mask) | (b & ~mask & (SPACE_SIZE - 1))
+
+
+def mutate_index(index: int, rng: random.Random,
+                 rate: float = 1.0 / FLAG_COUNT) -> int:
+    """Flip each flag independently with probability *rate*."""
+    for bit in range(FLAG_COUNT):
+        if rng.random() < rate:
+            index ^= 1 << bit
+    return index
 
 
 #: The flags LunarGlass enables by default (paper Section VI-B: GVN, integer

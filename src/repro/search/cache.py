@@ -1,0 +1,107 @@
+"""Content-addressed result cache for flag-space evaluations.
+
+Keys are built from ``sha256(source) x flag index x platform x seed`` so a
+cached entry is valid exactly as long as the shader text, the flag
+combination, the simulated platform, and the measurement seed are all
+unchanged — evaluation order, corpus position, and strategy never matter.
+
+The cache is a plain ``str -> dict`` map with an optional JSON file behind
+it, so repeated studies, ``tune`` runs, and benchmark invocations skip both
+recompilation and re-measurement.  The on-disk format is versioned; an
+incompatible or corrupt store is ignored rather than trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+#: Bump when the cached payload layout or the key recipe changes.
+CACHE_VERSION = 1
+
+
+def source_digest(source: str) -> str:
+    """The content address of one shader text."""
+    return hashlib.sha256(source.encode()).hexdigest()
+
+
+def make_key(source: str, flag_index: int, platform: str, seed: int) -> str:
+    """``sha256(source) x flag index x platform x seed`` as one cache key.
+
+    ``flag_index`` is -1 for entries addressing an already-emitted variant
+    text (where the producing combination is irrelevant to the measurement).
+    """
+    return f"{source_digest(source)}:{flag_index}:{platform}:{seed}"
+
+
+class ResultCache:
+    """In-memory evaluation cache with an optional on-disk JSON store."""
+
+    def __init__(self, path: Optional[Union[str, Path]] = None):
+        self.path = Path(path) if path else None
+        self._entries: Dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        if self.path is not None:
+            self._load()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[dict]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, key: str, value: dict) -> None:
+        self._entries[key] = value
+
+    # ------------------------------------------------------------------
+    # Disk store
+    # ------------------------------------------------------------------
+
+    def _load(self) -> None:
+        if self.path is None or not self.path.exists():
+            return
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return
+        if not isinstance(payload, dict):
+            return
+        if payload.get("version") != CACHE_VERSION:
+            return
+        entries = payload.get("entries")
+        if isinstance(entries, dict):
+            self._entries.update(entries)
+
+    def save(self) -> None:
+        """Atomically persist the store (no-op for memory-only caches)."""
+        if self.path is None:
+            return
+        payload = {"version": CACHE_VERSION, "entries": self._entries}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(self.path.parent),
+                                   prefix=self.path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, self.path)
+        except BaseException:
+            # Never leak the temp file, whatever the dump/replace raised
+            # (TypeError on an unserializable entry, OSError, Ctrl-C).
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

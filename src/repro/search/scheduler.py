@@ -1,0 +1,88 @@
+"""Parallel work scheduler for (shader x variant x platform) units.
+
+Measurements are pure functions of (text, platform, seed) — the execution
+environments are stateless and every RNG is derived from the unit's own
+seed — so units can run in any order on any worker and the scheduler's
+outputs are order-preserving and identical to a serial run.  A
+``concurrent.futures`` pool shards the units; ``max_workers <= 1`` (the
+default) or a pool that fails to start falls back to a plain serial loop.
+
+Two pool kinds: ``"process"`` (the study's default — the work is
+pure-Python and CPU-bound, so threads would serialize on the GIL) needs a
+picklable function and items; ``"thread"`` works with closures and suits
+I/O-bound or C-extension work.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment override for the default worker count (0/1 = serial).
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One measurement task: a shader text on one platform with one seed."""
+
+    case_index: int
+    variant_id: int        # -1 for the unaltered original
+    platform: str
+    text: str
+    seed: int
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_JOBS`` (serial when unset or invalid)."""
+    try:
+        return max(1, int(os.environ.get(JOBS_ENV_VAR, "1")))
+    except ValueError:
+        return 1
+
+
+class Scheduler:
+    """Order-preserving map over work units, parallel when asked to be."""
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 kind: str = "thread"):
+        if kind not in ("thread", "process"):
+            raise ValueError(f"kind must be 'thread' or 'process', got {kind!r}")
+        self.max_workers = (default_workers() if max_workers is None
+                            else max(1, int(max_workers)))
+        self.kind = kind
+
+    @property
+    def parallel(self) -> bool:
+        return self.max_workers > 1
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        """Apply *fn* to every item, results in input order."""
+        units = list(items)
+        if not self.parallel or len(units) <= 1:
+            return [fn(unit) for unit in units]
+        workers = min(self.max_workers, len(units))
+        try:
+            if self.kind == "process":
+                pool = ProcessPoolExecutor(max_workers=workers)
+            else:
+                pool = ThreadPoolExecutor(max_workers=workers)
+        except (OSError, RuntimeError, NotImplementedError):
+            # Pool creation can fail in constrained sandboxes; the serial
+            # path computes the same results.  Worker exceptions are NOT
+            # swallowed here — they propagate from pool.map below.
+            return [fn(unit) for unit in units]
+        try:
+            with pool:
+                chunk = max(1, len(units) // (workers * 4))
+                return list(pool.map(fn, units, chunksize=chunk))
+        except BrokenProcessPool:
+            # The pool's workers were killed under us (sandbox policy, OOM
+            # killer); no partial results are retrievable, so recompute.
+            return [fn(unit) for unit in units]

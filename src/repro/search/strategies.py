@@ -1,0 +1,246 @@
+"""Search strategies over the 256-point flag space.
+
+Every strategy maximizes an ``objective(flag_index) -> score`` callable
+(higher is better; the engine's :meth:`corpus_objective` yields mean
+speed-up %) under a budget of *unique* objective evaluations.  Re-visiting
+an already-scored point is free — the tracker memoizes — so the budget
+measures exactly the "fraction of the 256-point space evaluated" that the
+paper's brute-force study spends in full.
+
+All strategies are deterministic under a fixed seed: randomness comes only
+from a ``random.Random(seed)`` instance created per ``search()`` call.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.passes import DEFAULT_LUNARGLASS, SPACE_SIZE
+from repro.passes.flags import (
+    mutate_index, neighbor_indices, popcount, uniform_crossover,
+)
+
+Objective = Callable[[int], float]
+
+#: Scores closer than this are treated as ties (measurement jitter scale).
+SCORE_EPS = 1e-9
+
+
+class BudgetExhausted(Exception):
+    """Raised internally when a strategy asks for one point too many."""
+
+
+@dataclass
+class SearchOutcome:
+    """What one search run found, and what it cost."""
+
+    strategy: str
+    seed: int
+    budget: int
+    best_index: int
+    best_score: float
+    #: unique evaluations in the order they were paid for
+    history: List[Tuple[int, float]] = field(default_factory=list)
+
+    @property
+    def points_evaluated(self) -> int:
+        return len(self.history)
+
+    @property
+    def fraction_of_space(self) -> float:
+        return self.points_evaluated / SPACE_SIZE
+
+    def evaluations_to_reach(self, threshold: float) -> Optional[int]:
+        """Evaluations spent before the best-so-far score first reached
+        *threshold*; None if it never did."""
+        best = float("-inf")
+        for count, (_, score) in enumerate(self.history, start=1):
+            best = max(best, score)
+            if best >= threshold - SCORE_EPS:
+                return count
+        return None
+
+
+class _Tracker:
+    """Memoizing budget meter around the raw objective."""
+
+    def __init__(self, objective: Objective, budget: int):
+        self.objective = objective
+        self.budget = budget
+        self.scores: Dict[int, float] = {}
+        self.history: List[Tuple[int, float]] = []
+
+    @property
+    def exhausted(self) -> bool:
+        return len(self.scores) >= min(self.budget, SPACE_SIZE)
+
+    def evaluate(self, index: int) -> float:
+        index &= SPACE_SIZE - 1
+        if index in self.scores:
+            return self.scores[index]
+        if len(self.scores) >= self.budget:
+            raise BudgetExhausted
+        score = self.objective(index)
+        self.scores[index] = score
+        self.history.append((index, score))
+        return score
+
+
+class SearchStrategy:
+    """Common interface: ``search(objective, budget) -> SearchOutcome``."""
+
+    name = "base"
+
+    def __init__(self, seed: int = 2018):
+        self.seed = seed
+
+    def search(self, objective: Objective,
+               budget: int = SPACE_SIZE) -> SearchOutcome:
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        tracker = _Tracker(objective, budget)
+        # str seeding is deterministic across processes (unlike hash()).
+        rng = random.Random(f"{self.name}:{self.seed}")
+        try:
+            self._run(tracker, rng)
+        except BudgetExhausted:
+            pass
+        best_index, best_score = self._pick_best(tracker)
+        return SearchOutcome(strategy=self.name, seed=self.seed,
+                             budget=budget, best_index=best_index,
+                             best_score=best_score, history=tracker.history)
+
+    @staticmethod
+    def _pick_best(tracker: _Tracker) -> Tuple[int, float]:
+        if not tracker.scores:
+            raise RuntimeError("strategy evaluated no points")
+        # Ties break toward fewer enabled flags, then the lower index —
+        # the same "minimal optimal flag selection" rule as Table I.
+        best_index = min(
+            tracker.scores,
+            key=lambda i: (-tracker.scores[i], popcount(i), i))
+        return best_index, tracker.scores[best_index]
+
+    def _run(self, tracker: _Tracker, rng: random.Random) -> None:
+        raise NotImplementedError
+
+
+class Exhaustive(SearchStrategy):
+    """All 256 combinations in index order — today's study behavior."""
+
+    name = "exhaustive"
+
+    def _run(self, tracker: _Tracker, rng: random.Random) -> None:
+        for index in range(SPACE_SIZE):
+            tracker.evaluate(index)
+
+
+class RandomSampling(SearchStrategy):
+    """Budget-many distinct points, drawn uniformly without replacement."""
+
+    name = "random"
+
+    def _run(self, tracker: _Tracker, rng: random.Random) -> None:
+        order = list(range(SPACE_SIZE))
+        rng.shuffle(order)
+        for index in order:
+            tracker.evaluate(index)
+
+
+class GreedyHillClimb(SearchStrategy):
+    """Bit-flip ascent from the LunarGlass default, with random restarts."""
+
+    name = "greedy"
+
+    def __init__(self, seed: int = 2018,
+                 start_index: int = DEFAULT_LUNARGLASS.index):
+        super().__init__(seed)
+        self.start_index = start_index
+
+    def _run(self, tracker: _Tracker, rng: random.Random) -> None:
+        current = self.start_index
+        current_score = tracker.evaluate(current)
+        while True:
+            best_neighbor, best_score = None, current_score
+            for neighbor in neighbor_indices(current):
+                score = tracker.evaluate(neighbor)
+                if score > best_score + SCORE_EPS:
+                    best_neighbor, best_score = neighbor, score
+            if best_neighbor is not None:
+                current, current_score = best_neighbor, best_score
+                continue
+            # Local optimum: restart from an unvisited random point.
+            unvisited = [i for i in range(SPACE_SIZE) if i not in tracker.scores]
+            if not unvisited:
+                return
+            current = rng.choice(unvisited)
+            current_score = tracker.evaluate(current)
+
+
+class Genetic(SearchStrategy):
+    """Tournament selection + uniform crossover + mutation over bitmasks."""
+
+    name = "genetic"
+
+    def __init__(self, seed: int = 2018, population_size: int = 16,
+                 tournament_size: int = 3, elitism: int = 2,
+                 mutation_rate: float = 1.0 / 8.0,
+                 max_stall_generations: int = 25):
+        super().__init__(seed)
+        if population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        self.population_size = population_size
+        self.tournament_size = tournament_size
+        self.elitism = min(elitism, population_size)
+        self.mutation_rate = mutation_rate
+        #: stop after this many generations without a new unique point —
+        #: a converged population under a large budget would otherwise
+        #: coupon-collect the remaining space one mutation at a time.
+        self.max_stall_generations = max_stall_generations
+
+    def _run(self, tracker: _Tracker, rng: random.Random) -> None:
+        # Seed population: the interesting corners plus random fill.
+        population = [DEFAULT_LUNARGLASS.index, 0, SPACE_SIZE - 1]
+        while len(population) < self.population_size:
+            population.append(rng.randrange(SPACE_SIZE))
+        scores = {i: tracker.evaluate(i) for i in population}
+
+        stalled = 0
+        while not tracker.exhausted and stalled < self.max_stall_generations:
+            ranked = sorted(set(population),
+                            key=lambda i: (-scores[i], popcount(i), i))
+            next_gen = ranked[:self.elitism]
+            while len(next_gen) < self.population_size:
+                mother = self._tournament(population, scores, rng)
+                father = self._tournament(population, scores, rng)
+                child = uniform_crossover(mother, father, rng)
+                child = mutate_index(child, rng, self.mutation_rate)
+                next_gen.append(child)
+            population = next_gen
+            seen_before = len(tracker.scores)
+            scores = {i: tracker.evaluate(i) for i in population}
+            stalled = stalled + 1 if len(tracker.scores) == seen_before else 0
+
+    def _tournament(self, population: List[int], scores: Dict[int, float],
+                    rng: random.Random) -> int:
+        contenders = [rng.choice(population)
+                      for _ in range(self.tournament_size)]
+        return max(contenders, key=lambda i: (scores[i], -popcount(i), -i))
+
+
+#: CLI / config registry.
+STRATEGIES = {
+    cls.name: cls
+    for cls in (Exhaustive, RandomSampling, GreedyHillClimb, Genetic)
+}
+
+
+def make_strategy(name: str, seed: int = 2018, **kwargs) -> SearchStrategy:
+    try:
+        cls = STRATEGIES[name]
+    except KeyError:
+        raise ValueError(f"unknown strategy {name!r}; "
+                         f"choose from {sorted(STRATEGIES)}") from None
+    return cls(seed=seed, **kwargs)

@@ -1,0 +1,43 @@
+"""Shared test helpers: compile shaders, execute them, compare outputs.
+
+Lives in its own module (not conftest.py) so test files can import it
+unambiguously — ``benchmarks/conftest.py`` would otherwise shadow
+``tests/conftest.py`` under the module name ``conftest`` depending on
+collection order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core import compile_shader
+from repro.ir import Interpreter, verify_function
+from repro.passes import OptimizationFlags
+
+
+DEFAULT_ENV = {
+    "uniforms": {"ambient": (0.5, 0.4, 0.6, 0.5)},
+    "inputs": {"uv": (0.3, 0.7)},
+}
+
+
+def run_source(source: str, flags: Optional[OptimizationFlags] = None,
+               uniforms: Optional[Dict] = None, inputs: Optional[Dict] = None):
+    """Compile + verify + interpret; returns the outputs dict."""
+    compiled = compile_shader(source, flags or OptimizationFlags.none())
+    verify_function(compiled.module.function)
+    interp = Interpreter(compiled.module, uniforms=uniforms or {},
+                         inputs=inputs or {})
+    return interp.run()
+
+
+def assert_outputs_close(a: Dict, b: Dict, tol: float = 1e-6) -> None:
+    assert set(a) == set(b), f"output sets differ: {set(a)} vs {set(b)}"
+    for key in a:
+        va, vb = a[key], b[key]
+        ta = va if isinstance(va, tuple) else (va,)
+        tb = vb if isinstance(vb, tuple) else (vb,)
+        assert len(ta) == len(tb)
+        for x, y in zip(ta, tb):
+            scale = max(abs(float(x)), abs(float(y)), 1.0)
+            assert abs(float(x) - float(y)) <= tol * scale, (key, va, vb)

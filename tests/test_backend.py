@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import assert_outputs_close, run_source
+from helpers import assert_outputs_close, run_source
 from repro.core import compile_shader
 from repro.glsl import parse_shader, preprocess
 from repro.ir import Interpreter, emit_glsl, lower_shader, promote_to_ssa, verify_function

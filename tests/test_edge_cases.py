@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import assert_outputs_close, run_source
+from helpers import assert_outputs_close, run_source
 from repro.core import ShaderCompiler, compile_shader
 from repro.errors import (
     HarnessError, LoweringError, ParseError, ReproError, TypeError_,

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from conftest import run_source
+from helpers import run_source
 from repro.ir.textures import ProceduralTexture
 
 

@@ -10,7 +10,7 @@ import math
 
 from hypothesis import given, settings, strategies as st
 
-from conftest import assert_outputs_close
+from helpers import assert_outputs_close
 from repro.core import ShaderCompiler, compile_shader
 from repro.corpus import MOTIVATING_SHADER, default_corpus
 from repro.glsl import parse_shader, preprocess

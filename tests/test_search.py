@@ -1,0 +1,345 @@
+"""The repro.search subsystem: strategies, engine+cache, scheduler, and the
+refactored exhaustive study."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.analysis.cycle_analyzer import arm_static_cycles
+from repro.core.pipeline import ShaderCompiler
+from repro.corpus import default_corpus
+from repro.glsl.metrics import lines_of_code
+from repro.gpu.platform import all_platforms
+from repro.harness.environment import ShaderExecutionEnvironment
+from repro.harness.results import ShaderResult, StudyResult, VariantRecord
+from repro.harness.study import StudyConfig, _variant_seed, run_study
+from repro.passes import OptimizationFlags
+from repro.passes.flags import (
+    SPACE_SIZE, flip_bit, hamming_distance, mutate_index, neighbor_indices,
+    popcount, uniform_crossover,
+)
+from repro.search import (
+    STRATEGIES, EvaluationEngine, Exhaustive, Genetic, GreedyHillClimb,
+    RandomSampling, ResultCache, Scheduler, make_strategy,
+)
+
+
+TARGET = 0b10110001  # planted optimum for synthetic landscapes
+
+
+def synthetic_objective(index: int) -> float:
+    """Smooth unimodal landscape peaking at TARGET (score 0)."""
+    return -float(hamming_distance(index, TARGET))
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return default_corpus(max_shaders=2)
+
+
+@pytest.fixture(scope="module")
+def two_platforms():
+    return all_platforms()[:2]
+
+
+# ---------------------------------------------------------------------------
+# Flag-mask utilities
+# ---------------------------------------------------------------------------
+
+
+def test_flag_mask_utilities():
+    assert flip_bit(0, 3) == 8
+    assert flip_bit(8, 3) == 0
+    assert popcount(0b10110001) == 4
+    assert hamming_distance(0b1111, 0b0000) == 4
+    assert sorted(neighbor_indices(0)) == [1 << bit for bit in range(8)]
+    import random
+    rng = random.Random(7)
+    for _ in range(50):
+        child = uniform_crossover(0b1010_1010, 0b0101_0101, rng)
+        assert 0 <= child < SPACE_SIZE
+        mutated = mutate_index(child, rng)
+        assert 0 <= mutated < SPACE_SIZE
+    # rate=0 never mutates; rate=1 flips every bit.
+    assert mutate_index(42, random.Random(0), rate=0.0) == 42
+    assert mutate_index(42, random.Random(0), rate=1.0) == 42 ^ 0xFF
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(STRATEGIES))
+def test_strategy_determinism_under_fixed_seed(name):
+    a = make_strategy(name, seed=123).search(synthetic_objective, budget=48)
+    b = make_strategy(name, seed=123).search(synthetic_objective, budget=48)
+    assert a.history == b.history
+    assert (a.best_index, a.best_score) == (b.best_index, b.best_score)
+
+
+@pytest.mark.parametrize("name", sorted(STRATEGIES))
+def test_strategy_respects_budget_and_unique_points(name):
+    outcome = make_strategy(name, seed=5).search(synthetic_objective,
+                                                 budget=40)
+    assert outcome.points_evaluated <= 40
+    indices = [index for index, _ in outcome.history]
+    assert len(indices) == len(set(indices)), "budget counts unique points"
+    assert outcome.fraction_of_space <= 40 / SPACE_SIZE + 1e-12
+
+
+def test_exhaustive_covers_the_whole_space():
+    outcome = Exhaustive(seed=0).search(synthetic_objective)
+    assert outcome.points_evaluated == SPACE_SIZE
+    assert outcome.best_index == TARGET
+    assert outcome.best_score == 0.0
+
+
+def test_greedy_climbs_to_planted_optimum():
+    # The landscape is unimodal in Hamming distance, so bit-flip ascent
+    # reaches the target from any start without restarts.
+    outcome = GreedyHillClimb(seed=1).search(synthetic_objective, budget=80)
+    assert outcome.best_index == TARGET
+
+
+def test_genetic_finds_planted_optimum_within_quarter_space():
+    outcome = Genetic(seed=2018).search(synthetic_objective, budget=64)
+    assert outcome.points_evaluated <= 64
+    assert outcome.best_index == TARGET
+
+
+def test_random_sampling_draws_without_replacement():
+    outcome = RandomSampling(seed=9).search(synthetic_objective, budget=256)
+    assert outcome.points_evaluated == SPACE_SIZE
+    assert outcome.best_index == TARGET
+
+
+def test_evaluations_to_reach():
+    outcome = Exhaustive(seed=0).search(synthetic_objective)
+    # TARGET is evaluated exactly at position TARGET + 1 in index order.
+    assert outcome.evaluations_to_reach(0.0) == TARGET + 1
+    assert outcome.evaluations_to_reach(1.0) is None
+
+
+# ---------------------------------------------------------------------------
+# Engine + cache
+# ---------------------------------------------------------------------------
+
+
+def test_cache_hit_and_miss_semantics(small_corpus, two_platforms):
+    case = small_corpus[0]
+    platform = two_platforms[0]
+    engine = EvaluationEngine(platforms=two_platforms, seed=7)
+
+    first = engine.evaluate(case, OptimizationFlags.from_index(37), platform)
+    assert not first.from_cache
+    compiles = engine.compile_count
+    frontends = engine.frontend_count
+    measures = engine.measure_count
+
+    second = engine.evaluate(case, OptimizationFlags.from_index(37), platform)
+    assert second.from_cache
+    assert engine.compile_count == compiles, "cache hit must not compile"
+    assert engine.frontend_count == frontends
+    assert engine.measure_count == measures, "cache hit must not re-measure"
+    assert second.mean_ns == first.mean_ns
+    assert second.speedup_pct == first.speedup_pct
+
+    # A different flag combination that emits the *same* text re-runs the
+    # pass pipeline but reuses the measurement (content-addressed).
+    same_text_index = next(
+        (i for i in range(SPACE_SIZE)
+         if i != 37 and engine.text_for(case.source, i)
+         == engine.text_for(case.source, 37)), None)
+    if same_text_index is not None:
+        measures = engine.measure_count
+        third = engine.evaluate(case, same_text_index, platform)
+        assert engine.measure_count == measures
+        assert third.mean_ns == first.mean_ns
+
+
+def test_disk_cache_round_trip_does_zero_compiles(tmp_path, small_corpus,
+                                                  two_platforms):
+    case = small_corpus[0]
+    platform = two_platforms[0]
+    store = tmp_path / "cache.json"
+
+    warm = EvaluationEngine(platforms=two_platforms, seed=3,
+                            cache=ResultCache(store))
+    baseline = warm.evaluate(case, 42, platform)
+    warm.cache.save()
+    assert store.exists()
+
+    cold = EvaluationEngine(platforms=two_platforms, seed=3,
+                            cache=ResultCache(store))
+    replay = cold.evaluate(case, 42, platform)
+    assert replay.from_cache
+    assert cold.frontend_count == 0, "disk hit must skip the front end"
+    assert cold.compile_count == 0, "disk hit must skip the pass pipeline"
+    assert cold.measure_count == 0, "disk hit must skip measurement"
+    assert replay.mean_ns == baseline.mean_ns
+    assert replay.speedup_pct == baseline.speedup_pct
+
+
+def test_measurements_identical_across_processes(tmp_path):
+    """Disk-cached results are only sound if measurements don't depend on
+    per-process state (str hash salting regressed this once)."""
+    import os
+    import subprocess
+    import sys
+
+    import repro
+
+    code = ("from repro.corpus import MOTIVATING_SHADER\n"
+            "from repro.gpu.platform import platform_by_name\n"
+            "from repro.harness.environment import ShaderExecutionEnvironment\n"
+            "env = ShaderExecutionEnvironment(platform_by_name('Intel'))\n"
+            "print(repr(env.run(MOTIVATING_SHADER, seed=42)"
+            ".measurement.mean_ns))\n")
+    package_root = os.path.dirname(os.path.dirname(repro.__file__))
+    outputs = set()
+    for hash_seed in ("1", "2"):
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed,
+                   PYTHONPATH=package_root)
+        outputs.add(subprocess.check_output(
+            [sys.executable, "-c", code], env=env, text=True).strip())
+    assert len(outputs) == 1, f"measurement varies across processes: {outputs}"
+
+
+def test_corrupt_disk_cache_is_ignored(tmp_path):
+    store = tmp_path / "cache.json"
+    store.write_text("{not json")
+    cache = ResultCache(store)
+    assert len(cache) == 0
+
+
+def test_corpus_objective_matches_direct_evaluations(small_corpus,
+                                                     two_platforms):
+    engine = EvaluationEngine(platforms=two_platforms, seed=11)
+    platform = two_platforms[1]
+    objective = engine.corpus_objective(small_corpus, platform)
+    score = objective(0)
+    expected = sum(engine.evaluate(c, 0, platform).speedup_pct
+                   for c in small_corpus) / len(small_corpus)
+    assert score == pytest.approx(expected)
+
+
+# ---------------------------------------------------------------------------
+# Scheduler
+# ---------------------------------------------------------------------------
+
+
+def test_scheduler_preserves_order_and_parallel_equals_serial():
+    items = list(range(100))
+    fn = lambda x: x * x  # noqa: E731
+    serial = Scheduler(max_workers=1).map(fn, items)
+    parallel = Scheduler(max_workers=8).map(fn, items)
+    assert serial == parallel == [x * x for x in items]
+
+
+def test_scheduler_propagates_worker_exceptions():
+    def boom(x):
+        if x == 5:
+            raise RuntimeError("worker failed")
+        return x
+
+    with pytest.raises(RuntimeError, match="worker failed"):
+        Scheduler(max_workers=4).map(boom, list(range(10)))
+
+
+def test_scheduler_honors_jobs_env_var(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "6")
+    assert Scheduler().max_workers == 6
+    monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+    assert Scheduler().max_workers == 1
+    monkeypatch.delenv("REPRO_JOBS")
+    assert Scheduler().max_workers == 1
+
+
+def test_study_serial_and_parallel_runs_are_identical(small_corpus,
+                                                      two_platforms):
+    serial = run_study(small_corpus,
+                       StudyConfig(platforms=two_platforms, max_workers=1))
+    parallel = run_study(small_corpus,
+                         StudyConfig(platforms=two_platforms, max_workers=4))
+    assert serial.to_json() == parallel.to_json()
+
+
+# ---------------------------------------------------------------------------
+# Refactored study == seed implementation
+# ---------------------------------------------------------------------------
+
+
+def _seed_reference_study(corpus, platforms, seed=2018) -> StudyResult:
+    """Verbatim copy of the pre-search-subsystem run_study nested loop."""
+    result = StudyResult(platforms=[p.name for p in platforms], seed=seed)
+    environments = {p.name: ShaderExecutionEnvironment(p) for p in platforms}
+    for case_index, case in enumerate(corpus):
+        compiler = ShaderCompiler(case.source)
+        variant_set = compiler.all_variants()
+        shader_result = ShaderResult(
+            name=case.name, family=case.family,
+            loc=lines_of_code(case.source),
+            arm_static_cycles=arm_static_cycles(case.source))
+        for platform in platforms:
+            env = environments[platform.name]
+            report = env.run(case.source,
+                             seed=_variant_seed(seed, case_index, -1))
+            shader_result.original_times_ns[platform.name] = \
+                report.measurement.mean_ns
+        ordered = sorted(variant_set.items(),
+                         key=lambda kv: min(f.index for f in kv[1]))
+        for variant_id, (text, combos) in enumerate(ordered):
+            record = VariantRecord(
+                variant_id=variant_id,
+                flag_indices=sorted(f.index for f in combos),
+                text_hash=hashlib.sha256(text.encode()).hexdigest()[:16])
+            for platform in platforms:
+                env = environments[platform.name]
+                report = env.run(text, seed=_variant_seed(seed, case_index,
+                                                          variant_id))
+                record.times_ns[platform.name] = report.measurement.mean_ns
+                record.static_ops[platform.name] = report.cost.static_ops
+                record.registers[platform.name] = report.cost.registers
+            shader_result.variants.append(record)
+        result.shaders.append(shader_result)
+    return result
+
+
+def test_run_study_byte_identical_to_seed_implementation(small_corpus,
+                                                         two_platforms):
+    reference = _seed_reference_study(small_corpus, two_platforms)
+    refactored = run_study(small_corpus, StudyConfig(platforms=two_platforms))
+    assert refactored.to_json() == reference.to_json()
+
+
+# ---------------------------------------------------------------------------
+# VariantSet fast path
+# ---------------------------------------------------------------------------
+
+
+def test_variant_set_index_map_matches_linear_scan(small_corpus):
+    variant_set = ShaderCompiler(small_corpus[0].source).all_variants()
+    assert len(variant_set.index_to_text) == SPACE_SIZE
+    for index in range(0, SPACE_SIZE, 17):
+        flags = OptimizationFlags.from_index(index)
+        expected = next(text for text, combos in variant_set.by_text.items()
+                        if any(f.index == index for f in combos))
+        assert variant_set.text_for(flags) == expected
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def test_tune_cli_smoke(capsys):
+    from repro.cli import main
+
+    assert main(["tune", "--strategy", "greedy", "--budget", "16",
+                 "--platform", "Intel", "--max-shaders", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "strategy=greedy" in out
+    assert "worst-platform gap" in out
