@@ -8,13 +8,33 @@ from typing import Dict, List, Optional
 
 from repro.harness.results import ShaderResult, StudyResult
 from repro.passes import ALL_FLAG_NAMES, OptimizationFlags
+from repro.passes.flags import FLAG_LABELS
+from repro.reporting.spec import Series, TableSpec, ViolinSpec
 
 
 def best_static_flags(study: StudyResult, platform: str) -> OptimizationFlags:
     """The flag combination maximizing mean speed-up across all shaders
     (Table I).  Ties break toward the *minimal* flag set, matching the
     paper's note that no-op flags (ADCE) "can be safely omitted from the
-    minimal optimal flag selection"."""
+    minimal optimal flag selection".
+
+    The 256-combination scan is memoized per (study, platform) on the
+    study instance — a full report evaluates it from four different
+    artifacts.  Like ``ShaderResult.variant_for_flags``, the memo is
+    refreshed when shaders have been appended since it was built."""
+    cached = study.__dict__.get("_best_static_flags")
+    if cached is None or cached[0] != len(study.shaders):
+        cached = (len(study.shaders), {})
+        study.__dict__["_best_static_flags"] = cached
+    if platform in cached[1]:
+        return cached[1][platform]
+    best = _scan_best_static_flags(study, platform)
+    cached[1][platform] = best
+    return best
+
+
+def _scan_best_static_flags(study: StudyResult,
+                            platform: str) -> OptimizationFlags:
     best: Optional[OptimizationFlags] = None
     best_score = float("-inf")
     for index in range(256):
@@ -155,3 +175,63 @@ def isolated_flag_impact(study: StudyResult, platform: str,
         time = shader.variant_for_flags(single).times_ns[platform]
         result.speedups_pct.append((base / time - 1.0) * 100.0)
     return result
+
+
+# ---------------------------------------------------------------------------
+# Figure specs for the report registry
+# ---------------------------------------------------------------------------
+
+
+def best_flags_table_spec(study: StudyResult) -> TableSpec:
+    """Table I: the best static flag selection per platform, as a flag
+    matrix plus the mean speed-up it delivers."""
+    headers = ["platform"] + [FLAG_LABELS[name] for name in ALL_FLAG_NAMES] \
+        + ["mean %"]
+    rows = []
+    for platform in study.platforms:
+        flags = best_static_flags(study, platform)
+        rows.append(tuple([platform]
+                          + ["x" if getattr(flags, name) else "-"
+                             for name in ALL_FLAG_NAMES]
+                          + [mean_speedup(study, platform, flags)]))
+    return TableSpec.make(
+        headers, rows,
+        caption="Best static flag selection per platform "
+                "(x = enabled, minimal tie-break)")
+
+
+def applicability_spec(study: StudyResult) -> TableSpec:
+    """Fig. 8 as one table: per flag, how many shaders it rewrites
+    (platform-independent) and how often it appears in the optimal set on
+    each platform."""
+    per_platform = {platform: flag_applicability(study, platform)
+                    for platform in study.platforms}
+    headers = ["flag", "changes code", "applicability"] \
+        + [f"optimal on {p}" for p in study.platforms]
+    rows = []
+    first = study.platforms[0] if study.platforms else None
+    for name in ALL_FLAG_NAMES:
+        base = per_platform[first][name] if first else None
+        row = [FLAG_LABELS[name],
+               base.changes_code if base else 0,
+               f"{100.0 * base.applicability:.0f}%" if base else "-"]
+        row += [per_platform[p][name].in_optimal_set for p in study.platforms]
+        rows.append(tuple(row))
+    return TableSpec.make(
+        headers, rows,
+        caption="Flag applicability (shaders whose code changes) and "
+                "membership in the optimal 10% of variants")
+
+
+def per_flag_impact_specs(study: StudyResult) -> List[ViolinSpec]:
+    """Fig. 9: isolated per-flag speed-up violins, one panel per platform."""
+    specs: List[ViolinSpec] = []
+    for platform in study.platforms:
+        series = []
+        for name in ALL_FLAG_NAMES:
+            impact = isolated_flag_impact(study, platform, name)
+            series.append(Series.make(FLAG_LABELS[name], impact.speedups_pct))
+        specs.append(ViolinSpec(
+            series=tuple(series),
+            caption=f"{platform}: each flag alone vs the all-off baseline"))
+    return specs

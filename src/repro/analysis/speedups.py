@@ -1,5 +1,8 @@
 """Speed-up aggregations: Fig. 5 (overall averages), Fig. 6 (top-30 shaders),
 Fig. 7 (per-shader distributions), Fig. 3 (blanket-optimization distribution).
+
+Each aggregation has a ``*_spec`` twin producing the declarative figure spec
+the report registry (:mod:`repro.reporting.artifacts`) renders.
 """
 
 from __future__ import annotations
@@ -10,6 +13,9 @@ from typing import Dict, List
 from repro.analysis.flags import best_static_flags, mean_speedup
 from repro.harness.results import StudyResult
 from repro.passes import DEFAULT_LUNARGLASS, OptimizationFlags
+from repro.reporting.spec import (
+    BarSpec, ScatterSeries, ScatterSpec, Series, TableSpec, ViolinSpec,
+)
 
 
 @dataclass
@@ -85,3 +91,69 @@ def blanket_distribution(study: StudyResult, platform: str,
     distribution that motivates per-shader adaptivity."""
     return sorted((s.speedup_pct(platform, flags) for s in study.shaders),
                   reverse=True)
+
+
+# ---------------------------------------------------------------------------
+# Figure specs for the report registry
+# ---------------------------------------------------------------------------
+
+
+def overall_speedups_spec(study: StudyResult) -> TableSpec:
+    """Fig. 5 as one table: the three averages per platform."""
+    rows = [(r.platform, r.best_possible, r.best_static, r.default_lunarglass)
+            for r in average_speedups(study)]
+    return TableSpec.make(
+        ["platform", "best possible %", "best static %", "default %"], rows,
+        caption="Average speed-up over the unaltered shader, per platform")
+
+
+def per_shader_violin_specs(study: StudyResult) -> List[ViolinSpec]:
+    """Fig. 7 as per-platform speed-up violins (best / default / static)."""
+    specs: List[ViolinSpec] = []
+    for platform in study.platforms:
+        dist = per_shader_distribution(study, platform)
+        specs.append(ViolinSpec(
+            series=(Series.make("best possible", dist.best_possible),
+                    Series.make("default LunarGlass",
+                                dist.default_lunarglass),
+                    Series.make("best static", dist.best_static)),
+            caption=f"{platform}: per-shader speed-up distribution"))
+    return specs
+
+
+def top_shaders_specs(study: StudyResult, count: int = 30) -> List[BarSpec]:
+    """Fig. 6: the most-improved shaders per platform."""
+    specs: List[BarSpec] = []
+    for platform in study.platforms:
+        scored = top_shaders(study, platform, count=count)
+        specs.append(BarSpec.make(
+            list(scored), list(scored.values()),
+            caption=f"{platform}: top {len(scored)} shaders "
+                    "by best-variant speed-up"))
+    return specs
+
+
+def blanket_specs(study: StudyResult) -> List[BarSpec]:
+    """Fig. 3 (right): the default LunarGlass flags applied blanket-style."""
+    specs: List[BarSpec] = []
+    for platform in study.platforms:
+        values = blanket_distribution(study, platform, DEFAULT_LUNARGLASS)
+        specs.append(BarSpec.make(
+            [""] * len(values), values,
+            caption=f"{platform}: blanket default-flag speed-up, "
+                    "shaders sorted"))
+    return specs
+
+
+def loc_scatter_specs(study: StudyResult) -> List[ScatterSpec]:
+    """Shader size vs headroom: LoC against best-variant speed-up
+    (small multiples, one panel per platform)."""
+    specs: List[ScatterSpec] = []
+    for platform in study.platforms:
+        points = [(float(s.loc), s.best_speedup_pct(platform))
+                  for s in study.shaders]
+        specs.append(ScatterSpec(
+            series=(ScatterSeries.make(platform, points),),
+            xlabel="lines of GLSL", ylabel="best speed-up %",
+            caption=f"{platform}: shader size vs best available speed-up"))
+    return specs

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.harness.results import StudyResult
+from repro.reporting.spec import HistogramSpec, Spec, TableSpec
 
 
 def variant_count_distribution(study: StudyResult) -> List[int]:
@@ -21,3 +22,23 @@ def uniqueness_summary(study: StudyResult) -> Dict[str, float]:
         "fraction_under_10": sum(1 for c in counts if c < 10) / len(counts),
         "total_measured_variants": sum(counts),
     }
+
+
+def uniqueness_specs(study: StudyResult) -> List[Spec]:
+    """Fig. 4c as a histogram of unique-variant counts plus the headline
+    statistics table."""
+    counts = [float(c) for c in variant_count_distribution(study)]
+    specs: List[Spec] = [HistogramSpec.make(
+        counts, bins=min(12, max(len(set(counts)), 1)),
+        caption="Unique variants per shader (of 256 flag combinations)",
+        xlabel="unique variants")]
+    if counts:
+        summary = uniqueness_summary(study)
+        specs.append(TableSpec.make(
+            ["shaders", "max variants", "median variants",
+             "shaders with < 10", "total measured variants"],
+            [(summary["count"], summary["max"], summary["median"],
+              f"{100.0 * summary['fraction_under_10']:.0f}%",
+              summary["total_measured_variants"])],
+            caption="Variant-uniqueness summary"))
+    return specs

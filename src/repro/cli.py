@@ -9,6 +9,10 @@ Commands mirror the paper's workflow:
                   Fig. 5 / Table I summaries.
 - ``tune``      — search the flag space with a budgeted strategy and report
                   the best-found flags against the exhaustive optimum.
+- ``report``    — regenerate every registered paper artifact from a study
+                  run (or saved study JSON) as report.md / report.html.
+
+See ``docs/cli.md`` for copy-pasteable examples of each command.
 """
 
 from __future__ import annotations
@@ -23,10 +27,11 @@ from repro.core import ShaderCompiler, optimize_source
 from repro.corpus import default_corpus
 from repro.gpu.platform import all_platforms, platform_by_name
 from repro.harness.environment import ShaderExecutionEnvironment
+from repro.harness.results import StudyResult
 from repro.harness.study import StudyConfig, run_study
 from repro.passes import ALL_FLAG_NAMES, DEFAULT_LUNARGLASS, OptimizationFlags
 from repro.passes.flags import SPACE_SIZE
-from repro.reporting import render_table
+from repro.reporting import ReportBuilder, all_artifacts, render_table
 from repro.search import (
     STRATEGIES, EvaluationEngine, Exhaustive, ResultCache, make_strategy,
 )
@@ -166,6 +171,64 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    if args.list:
+        rows = [(a.name, a.paper_ref, a.title) for a in all_artifacts()]
+        print(render_table(["artifact", "paper", "title"], rows,
+                           title="Registered paper artifacts"))
+        return 0
+
+    only = None
+    if args.only:
+        only = [name.strip() for name in args.only.split(",") if name.strip()]
+        known = {a.name for a in all_artifacts()}
+        unknown = [name for name in only if name not in known]
+        if unknown:
+            raise SystemExit(
+                f"error: unknown artifact(s) {', '.join(unknown)}; "
+                f"see `repro report --list`")
+
+    builder = ReportBuilder(config=StudyConfig(
+        seed=args.seed, verbose=args.verbose, max_workers=args.jobs,
+        cache_path=args.cache or None))
+    if args.study:
+        from pathlib import Path
+        ignored = [flag for flag, on in
+                   [("--max-shaders", args.max_shaders),
+                    ("--seed", args.seed != 2018),
+                    ("--jobs", args.jobs is not None)] if on]
+        if ignored:
+            print(f"note: {', '.join(ignored)} ignored with --study "
+                  "(the saved study's corpus and seed are used)",
+                  file=sys.stderr)
+        try:
+            study = StudyResult.from_json(Path(args.study).read_text())
+        except OSError as exc:
+            raise SystemExit(f"error: cannot read study {args.study!r}: "
+                             f"{exc.strerror or exc}") from None
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SystemExit(
+                f"error: {args.study!r} is not a saved study JSON ({exc})") \
+                from None
+    else:
+        corpus = default_corpus(max_shaders=args.max_shaders or None)
+        study = builder.run_study(corpus)
+    report = builder.build(study, only=only)
+    paths = report.write(args.out_dir)
+
+    engine = builder.engine
+    print(f"rendered {len(report.sections)} artifacts over "
+          f"{report.shader_count} shaders x {len(report.platforms)} "
+          f"platforms (seed {report.seed})")
+    print(f"engine work: {engine.frontend_count} front-ends, "
+          f"{engine.compile_count} pass-pipeline compiles, "
+          f"{engine.measure_count} measurements "
+          f"(cache: {engine.cache.hits} hits / {engine.cache.misses} misses)")
+    for kind, path in sorted(paths.items()):
+        print(f"report.{kind}: {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -218,6 +281,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-reference", action="store_true",
                    help="skip the exhaustive-optimum comparison run")
     p.set_defaults(fn=_cmd_tune)
+
+    p = sub.add_parser(
+        "report",
+        help="regenerate the paper's figures/tables as report.md + "
+             "report.html")
+    p.add_argument("--list", action="store_true",
+                   help="list registered artifacts and exit")
+    p.add_argument("--only", default="",
+                   help="comma-separated artifact names (default: all)")
+    p.add_argument("--study", default="",
+                   help="load a saved study JSON instead of running one")
+    p.add_argument("--out-dir", default="reports",
+                   help="directory for report.md / report.html "
+                        "(default: reports/)")
+    p.add_argument("--max-shaders", type=int, default=0)
+    p.add_argument("--seed", type=int, default=2018)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="measurement worker processes "
+                        "(default: $REPRO_JOBS or serial)")
+    p.add_argument("--cache", default="",
+                   help="persist the result cache to this JSON file; a warm "
+                        "cache re-renders with zero compiles/measurements")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(fn=_cmd_report)
     return parser
 
 

@@ -1,4 +1,9 @@
-"""AMD Radeon RX 480 (Polaris), Mesa 17.0-devel radeonsi/LLVM 3.9.
+"""Cost model approximating AMD's Polaris (GCN) desktop architecture: the
+Radeon RX 480 under Mesa 17.0-devel radeonsi / LLVM 3.9, one of the five
+platforms in the paper's experimental-setup table (Sec. III).  The
+``GPUSpec`` issue costs and ``VendorJIT`` pass list are calibrated so the
+simulated platform reproduces AMD's row of Table I (best static flags)
+and its Fig. 9 per-flag violins.
 
 Scalar (GCN) ISA.  The era's Mesa stack did global value numbering but NOT
 loop unrolling of GLSL loops — which is why the paper finds "On AMD, loop

@@ -1,4 +1,9 @@
-"""ARM Mali-T880 MP12 (Midgard), Samsung Galaxy S7 / Exynos 8890.
+"""Cost model approximating ARM's Midgard mobile architecture: the
+Mali-T880 MP12 in the Samsung Galaxy S7 (Exynos 8890), one of the five
+platforms in the paper's experimental-setup table (Sec. III).  The
+``GPUSpec`` issue costs and ``VendorJIT`` pass list are calibrated so the
+simulated platform reproduces ARM's row of Table I (best static flags)
+and its Fig. 9 per-flag violins.
 
 The odd one out: a *vector* (VLIW-ish) ISA.  A vec4 multiply costs one issue
 — the same as a scalar multiply — so the offline FP-Reassociate pass's

@@ -1,4 +1,9 @@
-"""Intel HD Graphics 530 (Skylake GT2), Mesa 17.0-devel i965.
+"""Cost model approximating Intel's Skylake GT2 integrated architecture:
+HD Graphics 530 under Mesa 17.0-devel's i965 backend, one of the five
+platforms in the paper's experimental-setup table (Sec. III).  The
+``GPUSpec`` issue costs and ``VendorJIT`` pass list are calibrated so the
+simulated platform reproduces Intel's row of Table I (best static flags)
+and its Fig. 9 per-flag violins.
 
 Scalar (SIMD8/16) ISA with a comparatively large register file; Mesa's i965
 backend unrolled loops and value-numbered, so offline Unroll is near-zero /

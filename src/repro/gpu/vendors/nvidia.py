@@ -1,4 +1,9 @@
-"""NVIDIA GeForce GTX 1080 (Pascal), proprietary driver 375.39.
+"""Cost model approximating NVIDIA's Pascal desktop architecture: the
+GeForce GTX 1080 under the proprietary 375.39 driver, one of the five
+platforms in the paper's experimental-setup table (Sec. III).  The
+``GPUSpec`` issue costs and ``VendorJIT`` pass list are calibrated so the
+simulated platform reproduces NVIDIA's row of Table I (best static flags)
+and its Fig. 9 per-flag violins.
 
 Scalar SIMT ISA; the most mature JIT of the five: its own aggressive
 unrolling and global value numbering make the offline Unroll/GVN flags

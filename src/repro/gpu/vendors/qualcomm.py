@@ -1,4 +1,9 @@
-"""Qualcomm Adreno 530, HTC 10 / Snapdragon 820.
+"""Cost model approximating Qualcomm's Adreno mobile architecture: the
+Adreno 530 in the HTC 10 (Snapdragon 820), one of the five platforms in
+the paper's experimental-setup table (Sec. III).  The ``GPUSpec`` issue
+costs and ``VendorJIT`` pass list are calibrated so the simulated platform
+reproduces Qualcomm's row of Table I (best static flags) and its Fig. 9
+per-flag violins.
 
 Scalar ISA with a weak-at-the-time driver optimizer: no global value
 numbering (offline GVN gains ~15% in some shaders — the only platform where

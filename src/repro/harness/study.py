@@ -14,6 +14,10 @@ platform) unit measures it.  Assembly then reads everything back through
 the engine's cache.  Compiles and measurements are pure functions of their
 inputs, so serial runs, parallel runs, and the pre-refactor nested loop all
 produce byte-identical :class:`StudyResult` JSON.
+
+With ``cache_path`` set, the cache persists both measurements and compiled
+variant sets, so a repeated study — and the ``repro report`` pipeline built
+on top of it — replays from disk with zero compiles and zero measurements.
 """
 
 from __future__ import annotations
@@ -136,6 +140,11 @@ def _prime_engine(corpus: Sequence[ShaderCase], platforms: List[Platform],
     for source, index_to_text in zip(
             sources, scheduler.map(_compile_case_variants, sources)):
         engine.prime_variants(source, index_to_text)
+        # Pool workers bypass the engine, so account their work here —
+        # otherwise a cold parallel run reports the same zero counters as
+        # a warm-cache replay.
+        engine.frontend_count += 1
+        engine.compile_count += 256
 
     # Phase 2: one task per uncached (shader x variant x platform) unit.
     units: List[WorkUnit] = []
@@ -160,6 +169,7 @@ def _prime_engine(corpus: Sequence[ShaderCase], platforms: List[Platform],
               f"on {scheduler.max_workers} workers")
     for unit, measured in zip(pending, scheduler.map(_measure_unit, pending)):
         mean_ns, static_ops, registers = measured
+        engine.measure_count += 1
         engine.cache.put(
             make_key(unit.text, -1, unit.platform, unit.seed),
             {"mean_ns": mean_ns, "static_ops": static_ops,

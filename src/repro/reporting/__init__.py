@@ -1,8 +1,30 @@
-"""Plain-text rendering of study results (tables, histograms, violins)."""
+"""Rendering of study results: tables, histograms, violins, figure specs,
+and the paper-artifact report pipeline (text / Markdown / HTML+SVG)."""
 
-from repro.reporting.tables import render_table
-from repro.reporting.histogram import render_histogram, render_bars
-from repro.reporting.violin import violin_summary, render_violin_table
+from repro.reporting.tables import fmt_cell, render_table
+from repro.reporting.histogram import (
+    histogram_bins, render_bars, render_histogram,
+)
+from repro.reporting.violin import render_violin_table, violin_summary
+from repro.reporting.spec import (
+    BarSpec, HistogramSpec, ScatterSeries, ScatterSpec, Series, Spec,
+    TableSpec, ViolinSpec,
+)
+from repro.reporting.textfmt import render_spec_text
+from repro.reporting.markdown import render_spec_markdown
+from repro.reporting.svg import render_spec_svg
+from repro.reporting.report import (
+    Artifact, Report, ReportBuilder, ReportSection, all_artifacts,
+    artifact_names, get_artifact, register_artifact,
+)
 
-__all__ = ["render_table", "render_histogram", "render_bars",
-           "violin_summary", "render_violin_table"]
+__all__ = [
+    "render_table", "fmt_cell",
+    "render_histogram", "render_bars", "histogram_bins",
+    "violin_summary", "render_violin_table",
+    "Spec", "TableSpec", "Series", "ViolinSpec", "HistogramSpec", "BarSpec",
+    "ScatterSeries", "ScatterSpec",
+    "render_spec_text", "render_spec_markdown", "render_spec_svg",
+    "Artifact", "Report", "ReportBuilder", "ReportSection",
+    "register_artifact", "get_artifact", "all_artifacts", "artifact_names",
+]

@@ -1,11 +1,30 @@
-"""ASCII histograms / bar charts for distribution figures (Fig. 4, Fig. 7)."""
+"""ASCII histograms / bar charts for distribution figures (Fig. 4, Fig. 7).
+
+The binning itself lives in :func:`histogram_bins` so the text renderer here
+and the SVG renderer (:mod:`repro.reporting.svg`) draw the exact same bins.
+"""
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 _BAR = "#"
 _WIDTH = 50
+
+
+def histogram_bins(values: Sequence[float],
+                   bins: int = 12) -> List[Tuple[float, float, int]]:
+    """Equal-width ``(left, right, count)`` bins covering ``values``."""
+    if not values:
+        return []
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    counts = [0] * bins
+    for value in values:
+        index = min(int((value - lo) / span * bins), bins - 1)
+        counts[index] += 1
+    return [(lo + span * i / bins, lo + span * (i + 1) / bins, count)
+            for i, count in enumerate(counts)]
 
 
 def render_bars(values: Sequence[float], labels: Sequence[str] = (),
@@ -29,16 +48,9 @@ def render_histogram(values: Sequence[float], bins: int = 12,
     out: List[str] = [title] if title else []
     if not values:
         return "\n".join(out + ["(empty)"])
-    lo, hi = min(values), max(values)
-    span = (hi - lo) or 1.0
-    counts = [0] * bins
-    for value in values:
-        index = min(int((value - lo) / span * bins), bins - 1)
-        counts[index] += 1
-    peak = max(counts) or 1
-    for index, count in enumerate(counts):
-        left = lo + span * index / bins
-        right = lo + span * (index + 1) / bins
+    binned = histogram_bins(values, bins)
+    peak = max(count for _, _, count in binned) or 1
+    for left, right, count in binned:
         bar = _BAR * int(count / peak * width)
         out.append(f"[{left:8.1f},{right:8.1f}) {count:4d} {bar}")
     return "\n".join(out)

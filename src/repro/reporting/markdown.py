@@ -1,0 +1,41 @@
+"""Markdown rendering of figure specs.
+
+Tables become GitHub pipe tables; distribution figures embed their
+fixed-width text rendering in fenced code blocks so ``report.md`` stays a
+single self-contained file that renders everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.reporting.spec import Spec, TableSpec
+from repro.reporting.tables import fmt_cell
+from repro.reporting.textfmt import render_spec_text
+
+
+def _escape_cell(text: str) -> str:
+    return text.replace("|", "\\|")
+
+
+def render_spec_markdown(spec: Spec) -> str:
+    if isinstance(spec, TableSpec):
+        out: List[str] = []
+        if spec.caption:
+            out.append(f"**{spec.caption}**")
+            out.append("")
+        out.append("| " + " | ".join(_escape_cell(h) for h in spec.headers)
+                   + " |")
+        out.append("|" + "|".join(" --- " for _ in spec.headers) + "|")
+        for row in spec.rows:
+            out.append("| " + " | ".join(_escape_cell(fmt_cell(cell))
+                                         for cell in row) + " |")
+        return "\n".join(out)
+    text = render_spec_text(spec)
+    caption = ""
+    if getattr(spec, "caption", ""):
+        # The text renderers print the caption as their first line; lift it
+        # out of the fence so it renders as Markdown.
+        first, _, rest = text.partition("\n")
+        caption, text = f"**{first}**\n\n", rest
+    return f"{caption}```\n{text}\n```"

@@ -1,0 +1,243 @@
+"""The paper-artifact registry and the report pipeline.
+
+Every table/figure the paper contributes is a registered :class:`Artifact`:
+a name, the paper section/figure it reproduces, and a compute function from
+:class:`~repro.harness.results.StudyResult` to declarative figure specs
+(:mod:`repro.reporting.spec`).  The :class:`ReportBuilder` runs (or loads) a
+study through the shared :class:`~repro.search.engine.EvaluationEngine` —
+so a warm result cache re-renders every artifact with zero compiles and
+zero measurements — evaluates the registered artifacts, and emits one
+navigable ``report.md`` / ``report.html`` plus a fixed-width text rendition.
+
+Artifact computations are pure functions of the study numbers, and every
+renderer uses fixed formatting, so the emitted reports are byte-identical
+across runs and ``--jobs`` settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union,
+)
+
+from repro.reporting.markdown import render_spec_markdown
+from repro.reporting.spec import Spec
+from repro.reporting.svg import REPORT_CSS, render_spec_svg
+from repro.reporting.textfmt import render_spec_text
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.harness.results import ShaderCase, StudyResult
+    from repro.harness.study import StudyConfig
+    from repro.search.engine import EvaluationEngine
+
+ComputeFn = Callable[["StudyResult"], Sequence[Spec]]
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One registered paper artifact (a figure or table template)."""
+
+    name: str            # CLI handle, e.g. "best-flags"
+    title: str           # human heading
+    paper_ref: str       # the paper section/figure reproduced, e.g. "Fig. 5"
+    description: str     # one paragraph for the report body
+    compute: ComputeFn   # StudyResult -> figure specs
+
+
+_REGISTRY: Dict[str, Artifact] = {}
+
+
+def register_artifact(name: str, title: str, paper_ref: str,
+                      description: str) -> Callable[[ComputeFn], ComputeFn]:
+    """Decorator: register ``compute`` under ``name`` (insertion-ordered)."""
+
+    def decorator(compute: ComputeFn) -> ComputeFn:
+        if name in _REGISTRY:
+            raise ValueError(f"artifact {name!r} registered twice")
+        _REGISTRY[name] = Artifact(name=name, title=title,
+                                   paper_ref=paper_ref,
+                                   description=description, compute=compute)
+        return compute
+
+    return decorator
+
+
+def _ensure_default_artifacts() -> None:
+    # Imported lazily: repro.reporting.artifacts pulls in repro.analysis,
+    # which itself imports reporting submodules for the spec types.
+    import repro.reporting.artifacts  # noqa: F401
+
+
+def all_artifacts() -> List[Artifact]:
+    """Every registered artifact, in registration (= paper) order."""
+    _ensure_default_artifacts()
+    return list(_REGISTRY.values())
+
+
+def artifact_names() -> List[str]:
+    return [artifact.name for artifact in all_artifacts()]
+
+
+def get_artifact(name: str) -> Artifact:
+    _ensure_default_artifacts()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown artifact {name!r}; registered: {known}") \
+            from None
+
+
+@dataclass(frozen=True)
+class ReportSection:
+    """One evaluated artifact: its template plus the computed figures."""
+
+    artifact: Artifact
+    specs: Tuple[Spec, ...]
+
+
+@dataclass
+class Report:
+    """A fully evaluated report, renderable to text, Markdown, and HTML."""
+
+    platforms: List[str]
+    shader_count: int
+    seed: int
+    sections: List[ReportSection] = field(default_factory=list)
+    title: str = "Shader compiler optimization study — paper artifacts"
+
+    def _subtitle(self) -> str:
+        return (f"{self.shader_count} shaders x "
+                f"{len(self.platforms)} platforms "
+                f"({', '.join(self.platforms)}), seed {self.seed}")
+
+    # ------------------------------------------------------------------
+    # Renderers
+    # ------------------------------------------------------------------
+
+    def to_text(self) -> str:
+        out = [self.title, self._subtitle()]
+        for section in self.sections:
+            artifact = section.artifact
+            out.append("")
+            out.append(f"== {artifact.title} [{artifact.paper_ref}] "
+                       f"({artifact.name}) ==")
+            for spec in section.specs:
+                out.append("")
+                out.append(render_spec_text(spec))
+        return "\n".join(out) + "\n"
+
+    def to_markdown(self) -> str:
+        out = [f"# {self.title}", "", self._subtitle(), "", "## Contents", ""]
+        for section in self.sections:
+            artifact = section.artifact
+            out.append(f"- [{artifact.title}](#{artifact.name}) — "
+                       f"{artifact.paper_ref}")
+        for section in self.sections:
+            artifact = section.artifact
+            out.append("")
+            out.append(f'<a id="{artifact.name}"></a>')
+            out.append("")
+            out.append(f"## {artifact.title} ({artifact.paper_ref})")
+            out.append("")
+            out.append(artifact.description)
+            for spec in section.specs:
+                out.append("")
+                out.append(render_spec_markdown(spec))
+        return "\n".join(out) + "\n"
+
+    def to_html(self) -> str:
+        import html as _html
+
+        def esc(text: str) -> str:
+            return _html.escape(str(text), quote=True)
+
+        out = [
+            "<!DOCTYPE html>",
+            '<html lang="en"><head><meta charset="utf-8">',
+            f"<title>{esc(self.title)}</title>",
+            f"<style>\n{REPORT_CSS}</style>",
+            "</head><body>",
+            f"<h1>{esc(self.title)}</h1>",
+            f'<p class="vz-ref">{esc(self._subtitle())}</p>',
+            "<nav><ul>",
+        ]
+        for section in self.sections:
+            artifact = section.artifact
+            out.append(f'<li><a href="#{artifact.name}">'
+                       f"{esc(artifact.title)}</a> "
+                       f'<span class="vz-ref">{esc(artifact.paper_ref)}'
+                       "</span></li>")
+        out.append("</ul></nav>")
+        for section in self.sections:
+            artifact = section.artifact
+            out.append(f'<section id="{artifact.name}">')
+            out.append(f"<h2>{esc(artifact.title)} "
+                       f'<span class="vz-ref">({esc(artifact.paper_ref)})'
+                       "</span></h2>")
+            out.append(f"<p>{esc(artifact.description)}</p>")
+            for spec in section.specs:
+                out.append(render_spec_svg(spec))
+            out.append("</section>")
+        out.append("</body></html>")
+        return "\n".join(out) + "\n"
+
+    def write(self, out_dir: Union[str, Path]) -> Dict[str, Path]:
+        """Emit ``report.md`` and ``report.html`` under ``out_dir``."""
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        paths = {"md": out_dir / "report.md", "html": out_dir / "report.html"}
+        # Pinned encoding and newlines keep the byte-identical guarantee
+        # across platforms and locales.
+        with paths["md"].open("w", encoding="utf-8", newline="\n") as handle:
+            handle.write(self.to_markdown())
+        with paths["html"].open("w", encoding="utf-8", newline="\n") as handle:
+            handle.write(self.to_html())
+        return paths
+
+
+class ReportBuilder:
+    """Evaluate registered artifacts over a study, reusing the engine cache.
+
+    The builder owns one :class:`EvaluationEngine` (optionally injected) so
+    report generation and the study share the same content-addressed result
+    cache: after one cache-warm run, :meth:`run_study` performs zero
+    compiles and zero measurements — re-rendering is incremental by
+    construction (assert it via ``engine.compile_count`` /
+    ``engine.measure_count``).
+    """
+
+    def __init__(self, engine: Optional["EvaluationEngine"] = None,
+                 config: Optional["StudyConfig"] = None):
+        from repro.harness.study import StudyConfig
+        self.config = config or StudyConfig()
+        if engine is None:
+            from repro.gpu.platform import all_platforms
+            from repro.search.cache import ResultCache
+            from repro.search.engine import EvaluationEngine
+            platforms = list(self.config.platforms or all_platforms())
+            engine = EvaluationEngine(platforms=platforms,
+                                      seed=self.config.seed,
+                                      cache=ResultCache(self.config.cache_path))
+        self.engine = engine
+
+    def run_study(self, corpus: Sequence["ShaderCase"]) -> "StudyResult":
+        from repro.harness.study import run_study
+        return run_study(corpus, self.config, engine=self.engine)
+
+    def build(self, study: "StudyResult",
+              only: Optional[Sequence[str]] = None) -> Report:
+        selected = ([get_artifact(name) for name in only] if only
+                    else all_artifacts())
+        sections = [ReportSection(artifact=artifact,
+                                  specs=tuple(artifact.compute(study)))
+                    for artifact in selected]
+        return Report(platforms=list(study.platforms),
+                      shader_count=len(study.shaders), seed=study.seed,
+                      sections=sections)
+
+    def build_from_corpus(self, corpus: Sequence["ShaderCase"],
+                          only: Optional[Sequence[str]] = None) -> Report:
+        return self.build(self.run_study(corpus), only=only)

@@ -1,0 +1,118 @@
+"""Declarative figure specifications.
+
+Every paper artifact computes one of these small immutable descriptions
+instead of printing directly; the renderers in :mod:`repro.reporting.textfmt`,
+:mod:`repro.reporting.markdown` and :mod:`repro.reporting.svg` turn the same
+spec into fixed-width text, Markdown, or inline SVG.  Keeping the spec a pure
+value (tuples all the way down) is what makes report rendering byte-identical
+across runs and ``--jobs`` settings: the only inputs are the study numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple, Union
+
+
+def _floats(values: Sequence[float]) -> Tuple[float, ...]:
+    return tuple(float(v) for v in values)
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """A headed table (Table I, Fig. 5 rows, strategy comparisons)."""
+
+    headers: Tuple[str, ...]
+    rows: Tuple[Tuple[object, ...], ...]
+    caption: str = ""
+
+    @staticmethod
+    def make(headers: Sequence[str], rows: Sequence[Sequence[object]],
+             caption: str = "") -> "TableSpec":
+        return TableSpec(headers=tuple(str(h) for h in headers),
+                         rows=tuple(tuple(row) for row in rows),
+                         caption=caption)
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named value series inside a distribution figure."""
+
+    name: str
+    values: Tuple[float, ...]
+
+    @staticmethod
+    def make(name: str, values: Sequence[float]) -> "Series":
+        return Series(name=name, values=_floats(values))
+
+
+@dataclass(frozen=True)
+class ViolinSpec:
+    """Distribution summaries, one row per series (the paper's violins)."""
+
+    series: Tuple[Series, ...]
+    caption: str = ""
+    unit: str = "%"
+
+
+@dataclass(frozen=True)
+class HistogramSpec:
+    """Binned counts (Fig. 4 size/uniqueness distributions)."""
+
+    values: Tuple[float, ...]
+    bins: int = 12
+    caption: str = ""
+    xlabel: str = ""
+
+    @staticmethod
+    def make(values: Sequence[float], bins: int = 12, caption: str = "",
+             xlabel: str = "") -> "HistogramSpec":
+        return HistogramSpec(values=_floats(values), bins=bins,
+                             caption=caption, xlabel=xlabel)
+
+
+@dataclass(frozen=True)
+class BarSpec:
+    """One labeled signed bar per value (sorted per-shader plots)."""
+
+    labels: Tuple[str, ...]
+    values: Tuple[float, ...]
+    caption: str = ""
+    unit: str = "%"
+
+    @staticmethod
+    def make(labels: Sequence[str], values: Sequence[float],
+             caption: str = "", unit: str = "%") -> "BarSpec":
+        return BarSpec(labels=tuple(str(l) for l in labels),
+                       values=_floats(values), caption=caption, unit=unit)
+
+
+@dataclass(frozen=True)
+class ScatterSeries:
+    """One named point cloud."""
+
+    name: str
+    points: Tuple[Tuple[float, float], ...] = field(default_factory=tuple)
+
+    @staticmethod
+    def make(name: str,
+             points: Sequence[Tuple[float, float]]) -> "ScatterSeries":
+        return ScatterSeries(
+            name=name,
+            points=tuple((float(x), float(y)) for x, y in points))
+
+
+@dataclass(frozen=True)
+class ScatterSpec:
+    """An x/y point plot (LoC vs speed-up)."""
+
+    series: Tuple[ScatterSeries, ...]
+    xlabel: str = ""
+    ylabel: str = ""
+    caption: str = ""
+
+
+Spec = Union[TableSpec, ViolinSpec, HistogramSpec, BarSpec, ScatterSpec]
+
+__all__ = ["TableSpec", "Series", "ViolinSpec", "HistogramSpec", "BarSpec",
+           "ScatterSeries", "ScatterSpec", "Spec"]

@@ -1,0 +1,305 @@
+"""Inline-SVG rendering of figure specs for the HTML report.
+
+Pure string generation — no third-party plotting dependency — with fixed
+number formatting so the emitted markup is byte-identical across runs.
+Marks follow the repo's chart conventions: thin recessive axes, direct
+labels (identity never rides on color alone), native ``<title>`` hover
+tooltips, and CSS-class-based colors (``vz-*``) so the page's style block
+controls light/dark in one place.  All distribution geometry reuses the
+same helpers as the text renderers (:func:`violin_summary`,
+:func:`histogram_bins`).
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List
+
+from repro.reporting.histogram import histogram_bins
+from repro.reporting.spec import (
+    BarSpec, HistogramSpec, ScatterSpec, Spec, TableSpec, ViolinSpec,
+)
+from repro.reporting.tables import fmt_cell
+from repro.reporting.violin import violin_summary
+
+#: Stylesheet the HTML report embeds once.  Palette: documented categorical
+#: slot 1 (blue) for single-series marks and the blue/red diverging pair for
+#: signed values, stepped separately for light and dark surfaces.
+REPORT_CSS = """\
+:root { color-scheme: light dark; }
+body { margin: 2rem auto; max-width: 60rem; padding: 0 1rem;
+       font: 15px/1.5 system-ui, sans-serif;
+       background: #fcfcfb; color: #0b0b0b; }
+a { color: #256abf; }
+h1, h2 { line-height: 1.2; }
+h2 { margin-top: 2.5rem; }
+.vz-ref { color: #52514e; font-size: 0.9em; }
+figure { margin: 1rem 0; }
+figcaption { color: #52514e; font-size: 0.9em; margin-bottom: 0.3rem; }
+table { border-collapse: collapse; margin: 0.5rem 0; }
+th, td { border: 1px solid #e3e2de; padding: 0.25rem 0.6rem;
+         text-align: left; font-variant-numeric: tabular-nums; }
+th { background: #f0efec; }
+svg { display: block; }
+svg text { font: 11px system-ui, sans-serif; fill: #0b0b0b; }
+svg text.vz-lbl { fill: #52514e; }
+.vz-axis { stroke: #d5d4d0; stroke-width: 1; }
+.vz-s1 { fill: #2a78d6; }
+.vz-s1-line { stroke: #2a78d6; stroke-width: 2; fill: none; }
+.vz-pos { fill: #2a78d6; }
+.vz-neg { fill: #e34948; }
+@media (prefers-color-scheme: dark) {
+  body { background: #1a1a19; color: #ffffff; }
+  a { color: #86b6ef; }
+  .vz-ref, figcaption { color: #c3c2b7; }
+  th, td { border-color: #383835; }
+  th { background: #262624; }
+  svg text { fill: #ffffff; }
+  svg text.vz-lbl { fill: #c3c2b7; }
+  .vz-axis { stroke: #44443f; }
+  .vz-s1, .vz-pos { fill: #3987e5; }
+  .vz-s1-line { stroke: #3987e5; }
+  .vz-neg { fill: #e66767; }
+}
+"""
+
+_WIDTH = 640
+_LEFT = 150          # label gutter
+_RIGHT = 20
+_RIGHT_LABELED = 70  # wider margin where value labels sit right of the marks
+
+
+def _esc(text: str) -> str:
+    return html.escape(str(text), quote=True)
+
+
+def _num(value: float) -> str:
+    """Fixed-precision coordinate formatting (determinism + small files)."""
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+def _svg_open(height: int) -> str:
+    return (f'<svg viewBox="0 0 {_WIDTH} {height}" width="{_WIDTH}" '
+            f'height="{height}" role="img">')
+
+
+def _caption(spec: Spec) -> str:
+    caption = getattr(spec, "caption", "")
+    return f"<figcaption>{_esc(caption)}</figcaption>" if caption else ""
+
+
+def _scale(lo: float, hi: float, right: int = _RIGHT):
+    span = (hi - lo) or 1.0
+    plot = _WIDTH - _LEFT - right
+
+    def to_x(value: float) -> float:
+        return _LEFT + (value - lo) * plot / span
+
+    return to_x
+
+
+def render_spec_svg(spec: Spec) -> str:
+    """One spec -> one HTML ``<figure>`` (SVG chart or ``<table>``)."""
+    if isinstance(spec, TableSpec):
+        return _table_html(spec)
+    if isinstance(spec, ViolinSpec):
+        return _violin_svg(spec)
+    if isinstance(spec, HistogramSpec):
+        return _histogram_svg(spec)
+    if isinstance(spec, BarSpec):
+        return _bars_svg(spec)
+    if isinstance(spec, ScatterSpec):
+        return _scatter_svg(spec)
+    raise TypeError(f"unknown spec type {type(spec).__name__}")
+
+
+def _table_html(spec: TableSpec) -> str:
+    parts: List[str] = ["<figure>", _caption(spec), "<table>", "<thead><tr>"]
+    parts.extend(f"<th>{_esc(h)}</th>" for h in spec.headers)
+    parts.append("</tr></thead><tbody>")
+    for row in spec.rows:
+        parts.append("<tr>" + "".join(
+            f"<td>{_esc(fmt_cell(cell))}</td>" for cell in row) + "</tr>")
+    parts.append("</tbody></table></figure>")
+    return "".join(part for part in parts if part)
+
+
+def _violin_svg(spec: ViolinSpec) -> str:
+    """Min--max whisker, p25-p75 box, median tick, mean dot — one row per
+    series, directly labeled."""
+    row_h, top, bottom = 26, 18, 24
+    height = top + row_h * len(spec.series) + bottom
+    summaries = [violin_summary(series.values) for series in spec.series]
+    lo = min((s["min"] for s in summaries), default=0.0)
+    hi = max((s["max"] for s in summaries), default=1.0)
+    lo, hi = min(lo, 0.0), max(hi, 0.0)
+    to_x = _scale(lo, hi, right=_RIGHT_LABELED)
+    out = ["<figure>", _caption(spec), _svg_open(height)]
+    zero = to_x(0.0)
+    out.append(f'<line class="vz-axis" x1="{_num(zero)}" y1="{top - 8}" '
+               f'x2="{_num(zero)}" y2="{height - bottom + 4}"/>')
+    for index, (series, summary) in enumerate(zip(spec.series, summaries)):
+        cy = top + row_h * index + row_h / 2
+        tip = (f"{series.name}: mean {summary['mean']:+.2f}{spec.unit} "
+               f"median {summary['median']:+.2f}{spec.unit} "
+               f"[{summary['min']:+.2f}, {summary['max']:+.2f}]")
+        out.append("<g>")
+        out.append(f"<title>{_esc(tip)}</title>")
+        out.append(f'<text class="vz-lbl" x="{_LEFT - 8}" '
+                   f'y="{_num(cy + 4)}" text-anchor="end">'
+                   f"{_esc(series.name)}</text>")
+        out.append(f'<line class="vz-axis" x1="{_num(to_x(summary["min"]))}" '
+                   f'y1="{_num(cy)}" x2="{_num(to_x(summary["max"]))}" '
+                   f'y2="{_num(cy)}"/>')
+        box_l, box_r = to_x(summary["p25"]), to_x(summary["p75"])
+        out.append(f'<rect class="vz-s1" x="{_num(box_l)}" '
+                   f'y="{_num(cy - 6)}" '
+                   f'width="{_num(max(box_r - box_l, 1.0))}" height="12" '
+                   f'rx="2" opacity="0.45"/>')
+        med = to_x(summary["median"])
+        out.append(f'<rect class="vz-s1" x="{_num(med - 1.5)}" '
+                   f'y="{_num(cy - 8)}" width="3" height="16" rx="1.5"/>')
+        out.append(f'<circle class="vz-s1" cx="{_num(to_x(summary["mean"]))}" '
+                   f'cy="{_num(cy)}" r="3.5"/>')
+        out.append(f'<text x="{_num(to_x(summary["max"]) + 6)}" '
+                   f'y="{_num(cy + 4)}">'
+                   f"{summary['mean']:+.1f}{_esc(spec.unit)}</text>")
+        out.append("</g>")
+    out.append(f'<text class="vz-lbl" x="{_LEFT}" y="{height - 6}">'
+               f"{lo:+.1f}{_esc(spec.unit)}</text>")
+    out.append(f'<text class="vz-lbl" x="{_WIDTH - _RIGHT}" '
+               f'y="{height - 6}" text-anchor="end">'
+               f"{hi:+.1f}{_esc(spec.unit)}</text>")
+    out.append("</svg></figure>")
+    return "".join(part for part in out if part)
+
+
+def _histogram_svg(spec: HistogramSpec) -> str:
+    binned = histogram_bins(spec.values, spec.bins)
+    height, top, bottom, left = 220, 12, 34, 40
+    out = ["<figure>", _caption(spec), _svg_open(height)]
+    if binned:
+        peak = max(count for _, _, count in binned) or 1
+        plot_w = _WIDTH - left - _RIGHT
+        plot_h = height - top - bottom
+        bar_w = plot_w / len(binned)
+        out.append(f'<line class="vz-axis" x1="{left}" '
+                   f'y1="{height - bottom}" x2="{_WIDTH - _RIGHT}" '
+                   f'y2="{height - bottom}"/>')
+        for index, (lo, hi, count) in enumerate(binned):
+            bar_h = plot_h * count / peak
+            x = left + bar_w * index
+            y = height - bottom - bar_h
+            out.append("<g>")
+            out.append(f"<title>{_esc(f'[{lo:.1f}, {hi:.1f}): {count}')}"
+                       "</title>")
+            out.append(f'<rect class="vz-s1" x="{_num(x + 1)}" '
+                       f'y="{_num(y)}" width="{_num(max(bar_w - 2, 1.0))}" '
+                       f'height="{_num(max(bar_h, 1.0))}" rx="2"/>')
+            if count:
+                out.append(f'<text x="{_num(x + bar_w / 2)}" '
+                           f'y="{_num(y - 3)}" text-anchor="middle">'
+                           f"{count}</text>")
+            out.append("</g>")
+        first_lo = binned[0][0]
+        last_hi = binned[-1][1]
+        out.append(f'<text class="vz-lbl" x="{left}" y="{height - 18}">'
+                   f"{first_lo:.1f}</text>")
+        out.append(f'<text class="vz-lbl" x="{_WIDTH - _RIGHT}" '
+                   f'y="{height - 18}" text-anchor="end">{last_hi:.1f}</text>')
+    if spec.xlabel:
+        out.append(f'<text class="vz-lbl" x="{_num(_WIDTH / 2)}" '
+                   f'y="{height - 4}" text-anchor="middle">'
+                   f"{_esc(spec.xlabel)}</text>")
+    out.append("</svg></figure>")
+    return "".join(part for part in out if part)
+
+
+def _bars_svg(spec: BarSpec) -> str:
+    row_h, top, bottom = 18, 10, 24
+    height = top + row_h * len(spec.values) + bottom
+    lo = min(min(spec.values, default=0.0), 0.0)
+    hi = max(max(spec.values, default=0.0), 0.0)
+    to_x = _scale(lo, hi, right=_RIGHT_LABELED)
+    zero = to_x(0.0)
+    out = ["<figure>", _caption(spec), _svg_open(height)]
+    out.append(f'<line class="vz-axis" x1="{_num(zero)}" y1="{top - 4}" '
+               f'x2="{_num(zero)}" y2="{height - bottom + 4}"/>')
+    for index, value in enumerate(spec.values):
+        label = (spec.labels[index] if index < len(spec.labels)
+                 else str(index))
+        cy = top + row_h * index + row_h / 2
+        x = to_x(value)
+        klass = "vz-neg" if value < 0 else "vz-pos"
+        out.append("<g>")
+        out.append(f"<title>{_esc(f'{label}: {value:+.2f}{spec.unit}')}"
+                   "</title>")
+        out.append(f'<text class="vz-lbl" x="{_LEFT - 8}" '
+                   f'y="{_num(cy + 4)}" text-anchor="end">'
+                   f"{_esc(label)}</text>")
+        out.append(f'<rect class="{klass}" x="{_num(min(x, zero))}" '
+                   f'y="{_num(cy - 5)}" '
+                   f'width="{_num(max(abs(x - zero), 1.0))}" height="10" '
+                   f'rx="2"/>')
+        anchor = "start" if value >= 0 else "end"
+        dx = 5 if value >= 0 else -5
+        out.append(f'<text x="{_num(x + dx)}" y="{_num(cy + 4)}" '
+                   f'text-anchor="{anchor}">{value:+.1f}</text>')
+        out.append("</g>")
+    out.append("</svg></figure>")
+    return "".join(part for part in out if part)
+
+
+def _scatter_svg(spec: ScatterSpec) -> str:
+    height, top, bottom, left = 260, 14, 40, 60
+    points = [(x, y) for series in spec.series for x, y in series.points]
+    out = ["<figure>", _caption(spec), _svg_open(height)]
+    if points:
+        xs = [x for x, _ in points]
+        ys = [y for _, y in points]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(min(ys), 0.0), max(max(ys), 0.0)
+        x_span = (x_hi - x_lo) or 1.0
+        y_span = (y_hi - y_lo) or 1.0
+        plot_w = _WIDTH - left - _RIGHT
+        plot_h = height - top - bottom
+
+        def to_xy(x: float, y: float):
+            return (left + (x - x_lo) * plot_w / x_span,
+                    top + plot_h - (y - y_lo) * plot_h / y_span)
+
+        _, zero_y = to_xy(x_lo, 0.0)
+        out.append(f'<line class="vz-axis" x1="{left}" '
+                   f'y1="{_num(zero_y)}" x2="{_WIDTH - _RIGHT}" '
+                   f'y2="{_num(zero_y)}"/>')
+        out.append(f'<line class="vz-axis" x1="{left}" y1="{top}" '
+                   f'x2="{left}" y2="{height - bottom + 4}"/>')
+        for series in spec.series:
+            for x, y in series.points:
+                px, py = to_xy(x, y)
+                out.append("<g>")
+                out.append(
+                    f"<title>{_esc(f'{series.name}: ({x:g}, {y:+.2f})')}"
+                    "</title>")
+                out.append(f'<circle class="vz-s1" cx="{_num(px)}" '
+                           f'cy="{_num(py)}" r="4" opacity="0.8"/>')
+                out.append("</g>")
+        out.append(f'<text class="vz-lbl" x="{left}" y="{height - 22}">'
+                   f"{x_lo:g}</text>")
+        out.append(f'<text class="vz-lbl" x="{_WIDTH - _RIGHT}" '
+                   f'y="{height - 22}" text-anchor="end">{x_hi:g}</text>')
+        out.append(f'<text class="vz-lbl" x="{left - 6}" '
+                   f'y="{_num(top + 8)}" text-anchor="end">'
+                   f"{y_hi:+.1f}</text>")
+        out.append(f'<text class="vz-lbl" x="{left - 6}" '
+                   f'y="{_num(height - bottom)}" text-anchor="end">'
+                   f"{y_lo:+.1f}</text>")
+    if spec.xlabel:
+        out.append(f'<text class="vz-lbl" x="{_num(_WIDTH / 2)}" '
+                   f'y="{height - 6}" text-anchor="middle">'
+                   f"{_esc(spec.xlabel)}</text>")
+    if spec.ylabel:
+        out.append(f'<text class="vz-lbl" x="{left}" y="{top - 2}">'
+                   f"{_esc(spec.ylabel)}</text>")
+    out.append("</svg></figure>")
+    return "".join(part for part in out if part)

@@ -1,4 +1,4 @@
-"""Minimal fixed-width table renderer for benchmark output."""
+"""Minimal fixed-width table renderer for benchmark and report output."""
 
 from __future__ import annotations
 
@@ -7,7 +7,7 @@ from typing import List, Sequence
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
                  title: str = "") -> str:
-    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    cells = [[str(h) for h in headers]] + [[fmt_cell(c) for c in row] for row in rows]
     widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
 
     def line(row: Sequence[str]) -> str:
@@ -23,7 +23,18 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
     return "\n".join(out)
 
 
-def _fmt(value: object) -> str:
+def fmt_cell(value: object) -> str:
+    """One table cell.  Floats always carry an explicit sign — speed-up
+    columns mix magnitudes, and dropping the ``+`` above 1000 made them
+    inconsistent — with large values compacted to 4 significant digits."""
     if isinstance(value, float):
-        return f"{value:+.2f}" if abs(value) < 1000 else f"{value:.3g}"
+        # Branch on the rounded value so 999.996 doesn't render as
+        # "+1000.00" while 1000.1 renders "+1000".
+        if abs(round(value, 2)) < 1000:
+            return f"{value:+.2f}"
+        return f"{value:+.4g}"
     return str(value)
+
+
+# Backwards-compatible alias (pre-report-pipeline name).
+_fmt = fmt_cell

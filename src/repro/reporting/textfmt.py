@@ -1,0 +1,67 @@
+"""Fixed-width text rendering of figure specs.
+
+One dispatch point — :func:`render_spec_text` — turns any
+:mod:`repro.reporting.spec` value into the same ASCII the pre-registry
+helpers printed, so ``repro study``-era output and the report pipeline share
+one formatting path.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.reporting.histogram import render_bars, render_histogram
+from repro.reporting.spec import (
+    BarSpec, HistogramSpec, ScatterSpec, Spec, TableSpec, ViolinSpec,
+)
+from repro.reporting.tables import render_table
+from repro.reporting.violin import render_violin_table
+
+
+def render_spec_text(spec: Spec) -> str:
+    if isinstance(spec, TableSpec):
+        return render_table(spec.headers, spec.rows, title=spec.caption)
+    if isinstance(spec, ViolinSpec):
+        named = {series.name: series.values for series in spec.series}
+        return render_violin_table(named, title=spec.caption)
+    if isinstance(spec, HistogramSpec):
+        return render_histogram(spec.values, bins=spec.bins,
+                                title=spec.caption)
+    if isinstance(spec, BarSpec):
+        return render_bars(spec.values, spec.labels, title=spec.caption)
+    if isinstance(spec, ScatterSpec):
+        return _render_scatter_text(spec)
+    raise TypeError(f"unknown spec type {type(spec).__name__}")
+
+
+def _render_scatter_text(spec: ScatterSpec, rows: int = 14,
+                         cols: int = 56) -> str:
+    """A coarse character-grid scatter, one glyph per series."""
+    out: List[str] = [spec.caption] if spec.caption else []
+    points = [(x, y) for series in spec.series for x, y in series.points]
+    if not points:
+        return "\n".join(out + ["(empty)"])
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * cols for _ in range(rows)]
+    glyphs = "ox+*#@%&"
+    for series_index, series in enumerate(spec.series):
+        glyph = glyphs[series_index % len(glyphs)]
+        for x, y in series.points:
+            col = min(int((x - x_lo) / x_span * (cols - 1)), cols - 1)
+            row = rows - 1 - min(int((y - y_lo) / y_span * (rows - 1)),
+                                 rows - 1)
+            grid[row][col] = glyph
+    out.append(f"{spec.ylabel} {y_hi:+.2f}".rstrip())
+    out.extend("  |" + "".join(line) for line in grid)
+    out.append("  +" + "-" * cols)
+    out.append(f"  {x_lo:.0f} {spec.xlabel} ... {x_hi:.0f}".rstrip())
+    if len(spec.series) > 1:
+        out.append("  legend: " + "  ".join(
+            f"{glyphs[i % len(glyphs)]}={series.name}"
+            for i, series in enumerate(spec.series)))
+    return "\n".join(out)

@@ -21,6 +21,8 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 #: Bump when the cached payload layout or the key recipe changes.
+#: (Compiled variant sets are additive "variants:<digest>" entries, so
+#: they did not need a version bump.)
 CACHE_VERSION = 1
 
 
@@ -65,6 +67,52 @@ class ResultCache:
 
     def put(self, key: str, value: dict) -> None:
         self._entries[key] = value
+
+    # ------------------------------------------------------------------
+    # Compiled variant sets
+    # ------------------------------------------------------------------
+    # The pass pipeline is as cacheable as the measurements: persisting the
+    # 256-combination emitted texts (deduplicated) lets a warm cache replay
+    # a whole study — and the report pipeline on top of it — with zero
+    # compiles.  These entries bypass the hit/miss counters, which meter
+    # measurement lookups only.
+
+    @staticmethod
+    def variants_key(digest: str) -> str:
+        return f"variants:{digest}"
+
+    def has_variants(self, digest: str) -> bool:
+        return self.variants_key(digest) in self._entries
+
+    def get_variants(self, digest: str) -> Optional[Dict[int, str]]:
+        """The stored ``flag index -> emitted text`` map, or None."""
+        entry = self._entries.get(self.variants_key(digest))
+        if not isinstance(entry, dict):
+            return None
+        try:
+            texts = entry["texts"]
+            return {int(index): texts[pos]
+                    for index, pos in entry["combos"].items()}
+        except (KeyError, IndexError, TypeError, ValueError, AttributeError):
+            return None
+
+    def put_variants(self, digest: str, index_to_text: Dict[int, str]) -> None:
+        """Store a variant set, deduplicating the (heavily shared) texts.
+
+        The real flag indices are stored (JSON-stringified), so sparse or
+        partial maps round-trip faithfully.
+        """
+        texts: list = []
+        positions: Dict[str, int] = {}
+        combos: Dict[str, int] = {}
+        for index in sorted(index_to_text):
+            text = index_to_text[index]
+            if text not in positions:
+                positions[text] = len(texts)
+                texts.append(text)
+            combos[str(index)] = positions[text]
+        self._entries[self.variants_key(digest)] = {"texts": texts,
+                                                    "combos": combos}
 
     # ------------------------------------------------------------------
     # Disk store

@@ -106,19 +106,30 @@ class EvaluationEngine:
         return compiler
 
     def variants_for(self, case: ShaderCase) -> VariantSet:
-        """The full deduplicated 256-combination variant set (memoized)."""
+        """The full deduplicated 256-combination variant set.
+
+        Memoized in-process and persisted in the result cache, so a warm
+        disk cache replays the whole study without a single pass-pipeline
+        run (the report pipeline's zero-compile re-render guarantee).
+        """
         digest = source_digest(case.source)
         variant_set = self._variant_sets.get(digest)
         if variant_set is None:
-            self.compile_count += 256
-            variant_set = self.compiler_for(case.source).all_variants()
-            self._variant_sets[digest] = variant_set
-            self._texts.update({(digest, index): text for index, text
-                                in variant_set.index_to_text.items()})
+            cached = self.cache.get_variants(digest)
+            if cached is not None:
+                variant_set = self.prime_variants(case.source, cached)
+            else:
+                self.compile_count += 256
+                variant_set = self.compiler_for(case.source).all_variants()
+                self._variant_sets[digest] = variant_set
+                self._texts.update({(digest, index): text for index, text
+                                    in variant_set.index_to_text.items()})
+                self.cache.put_variants(digest, variant_set.index_to_text)
         return variant_set
 
     def has_variants(self, source: str) -> bool:
-        return source_digest(source) in self._variant_sets
+        digest = source_digest(source)
+        return digest in self._variant_sets or self.cache.has_variants(digest)
 
     def prime_variants(self, source: str,
                        index_to_text: Dict[int, str]) -> VariantSet:
@@ -136,6 +147,8 @@ class EvaluationEngine:
         self._variant_sets[digest] = variant_set
         self._texts.update({(digest, index): text
                             for index, text in index_to_text.items()})
+        if not self.cache.has_variants(digest):
+            self.cache.put_variants(digest, variant_set.index_to_text)
         return variant_set
 
     def text_for(self, source: str, flags: FlagsLike) -> str:

@@ -76,6 +76,27 @@ def test_cli_time_single_platform(shader_file, capsys):
 # ---------------------------------------------------------------------------
 
 
+def test_fmt_cell_keeps_sign_above_1000():
+    """Mixed-magnitude speed-up columns must format consistently: every
+    float carries an explicit sign, whatever its magnitude."""
+    from repro.reporting import fmt_cell
+    assert fmt_cell(2.5) == "+2.50"
+    assert fmt_cell(-4.25) == "-4.25"
+    assert fmt_cell(1234.5).startswith("+")
+    assert fmt_cell(-1234.5).startswith("-")
+    assert fmt_cell(1.5e6).startswith("+")
+    assert fmt_cell(999.994) == "+999.99"
+    assert fmt_cell(999.996) == "+1000"   # rounds across the branch boundary
+    assert fmt_cell(7) == "7"          # ints are not sign-decorated
+    assert fmt_cell("x") == "x"
+
+
+def test_render_table_mixed_magnitudes_signed():
+    text = render_table(["v"], [[1234.5], [-0.25], [2.0]])
+    cells = [line.strip() for line in text.splitlines()[2:]]
+    assert all(cell[0] in "+-" for cell in cells)
+
+
 def test_render_table_alignment():
     text = render_table(["a", "long header"], [[1, 2.5], [333, -4.25]],
                         title="T")

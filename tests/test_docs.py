@@ -1,0 +1,56 @@
+"""Docs-tree health: the files exist, intra-repo links resolve, and the
+paper-mapping table names real modules and artifacts."""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.reporting import artifact_names
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_docs_tree_exists():
+    for name in ("architecture.md", "paper_mapping.md", "cli.md"):
+        path = ROOT / "docs" / name
+        assert path.exists(), f"missing docs/{name}"
+        assert path.read_text().startswith("# ")
+
+
+def test_intra_repo_links_resolve():
+    result = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "check_docs_links.py")],
+        capture_output=True, text=True)
+    assert result.returncode == 0, result.stderr
+
+
+def test_paper_mapping_names_real_artifacts_and_modules():
+    text = (ROOT / "docs" / "paper_mapping.md").read_text()
+    known = set(artifact_names())
+    referenced = set(re.findall(r"`([a-z0-9-]+)`", text)) & \
+        {name for name in known}
+    assert referenced == known, (
+        f"paper_mapping.md must mention every registered artifact; "
+        f"missing: {sorted(known - referenced)}")
+    for module in re.findall(r"`((?:analysis|search|gpu|core|glsl|harness|"
+                             r"corpus|passes)/[a-z_{},./]+\.py)`", text):
+        for part in _expand_braces(module):
+            assert (ROOT / "src" / "repro" / part).exists(), \
+                f"paper_mapping.md references missing module {part}"
+
+
+def _expand_braces(path: str):
+    match = re.search(r"\{([^}]*)\}", path)
+    if not match:
+        return [path]
+    head, tail = path[:match.start()], path[match.end():]
+    return [head + option + tail for option in match.group(1).split(",")]
+
+
+def test_readme_links_docs_tree():
+    text = (ROOT / "README.md").read_text()
+    for target in ("docs/architecture.md", "docs/paper_mapping.md",
+                   "docs/cli.md"):
+        assert target in text, f"README does not link {target}"
+    assert "repro report" in text

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Verify every intra-repo Markdown link in README.md and docs/ resolves.
+
+Scans ``[text](target)`` links; relative targets (optionally with a
+``#fragment``) must exist on disk relative to the file containing the link.
+External (``http``/``https``/``mailto``) links are skipped.  Exits non-zero
+listing every broken link — CI runs this next to the ``repro report`` smoke
+test.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def markdown_files(root: Path):
+    yield from sorted(root.glob("*.md"))
+    yield from sorted((root / "docs").glob("**/*.md"))
+
+
+def check_file(path: Path, root: Path):
+    """Yield ``(link, reason)`` for every broken link in one file."""
+    for match in LINK_RE.finditer(path.read_text()):
+        target = match.group(1)
+        if target.startswith(SKIP_SCHEMES):
+            continue
+        file_part, _, _fragment = target.partition("#")
+        if not file_part:          # same-file anchor, e.g. "#contents"
+            continue
+        resolved = (path.parent / file_part).resolve()
+        try:
+            resolved.relative_to(root.resolve())
+        except ValueError:
+            yield target, "points outside the repository"
+            continue
+        if not resolved.exists():
+            yield target, "target does not exist"
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    broken = []
+    checked = 0
+    for path in markdown_files(root):
+        checked += 1
+        for target, reason in check_file(path, root):
+            broken.append(f"{path.relative_to(root)}: {target} ({reason})")
+    if broken:
+        print("broken intra-repo links:", file=sys.stderr)
+        for line in broken:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"checked {checked} Markdown files: all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
