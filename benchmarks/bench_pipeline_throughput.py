@@ -20,6 +20,21 @@ def test_bench_all_256_variants(benchmark):
     assert 1 < variants.unique_count <= 48
 
 
+def test_bench_256_variants_naive(benchmark):
+    compiler = ShaderCompiler(MOTIVATING_SHADER)
+    variants = benchmark(lambda: compiler.all_variants(mode="naive"))
+    assert 1 < variants.unique_count <= 48
+
+
+def test_bench_trie_variants(benchmark):
+    """Naive-vs-trie A/B: the trie must be faster AND byte-identical."""
+    compiler = ShaderCompiler(MOTIVATING_SHADER)
+    baseline = compiler.all_variants(mode="naive")
+    variants = benchmark(lambda: compiler.all_variants(mode="trie"))
+    assert variants.index_to_text == baseline.index_to_text
+    assert variants.by_text == baseline.by_text
+
+
 def test_bench_environment_run(benchmark):
     env = ShaderExecutionEnvironment(NVIDIA)
     report = benchmark(env.run, MOTIVATING_SHADER, 7)

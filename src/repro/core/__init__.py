@@ -3,11 +3,13 @@
 exploration built on top of it."""
 
 from repro.core.pipeline import (
-    CompiledShader, ShaderCompiler, VariantSet, compile_shader,
-    optimize_source, unique_variants,
+    COMPILE_MODE_ENV, CompiledShader, ShaderCompiler, VariantSet,
+    compile_mode, compile_shader, optimize_source, unique_variants,
 )
+from repro.core.trie import TrieStats, VariantTrie
 
 __all__ = [
     "CompiledShader", "ShaderCompiler", "VariantSet", "compile_shader",
     "optimize_source", "unique_variants",
+    "COMPILE_MODE_ENV", "compile_mode", "TrieStats", "VariantTrie",
 ]

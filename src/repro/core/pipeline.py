@@ -5,11 +5,15 @@ transformed GLSL out, with compilation artifacts included.
 ``unique_variants(source)`` runs all 256 flag combinations and deduplicates
 the emitted text — Fig. 4c's "unique shader variants" statistic.  A
 :class:`ShaderCompiler` caches the parse+lower work so the 256 combinations
-run off cheap IR clones.
+run off cheap IR clones; ``all_variants`` walks the shared-prefix
+compilation trie (:mod:`repro.core.trie`) by default, so each pass runs
+once per distinct reachable IR state rather than once per combination
+(``REPRO_COMPILE=naive`` restores the brute-force loop for A/B testing).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -18,6 +22,21 @@ from repro.ir import emit_glsl, lower_shader, promote_to_ssa
 from repro.ir.clone import clone_module
 from repro.ir.module import Module
 from repro.passes import OptimizationFlags, run_passes
+
+#: Environment switch for the variant-explosion strategy: ``trie`` (default,
+#: shared-prefix decision tree) or ``naive`` (256 independent pipeline runs,
+#: kept for A/B equivalence testing and benchmarking).
+COMPILE_MODE_ENV = "REPRO_COMPILE"
+_COMPILE_MODES = ("trie", "naive")
+
+
+def compile_mode(explicit: Optional[str] = None) -> str:
+    """Resolve the variant-compilation mode: explicit arg > env > trie."""
+    mode = explicit or os.environ.get(COMPILE_MODE_ENV) or "trie"
+    if mode not in _COMPILE_MODES:
+        raise ValueError(
+            f"unknown compile mode {mode!r}; expected one of {_COMPILE_MODES}")
+    return mode
 
 
 @dataclass
@@ -49,14 +68,32 @@ class ShaderCompiler:
         return CompiledShader(source=self.source, flags=flags, module=module,
                               output=output, pass_stats=stats)
 
-    def all_variants(self, es: bool = False) -> "VariantSet":
-        """Compile all 256 combinations and deduplicate the emitted text."""
-        by_text: Dict[str, List[OptimizationFlags]] = {}
-        index_to_text: Dict[int, str] = {}
-        for flags in OptimizationFlags.all_combinations():
-            compiled = self.compile(flags, es=es)
-            by_text.setdefault(compiled.output, []).append(flags)
-            index_to_text[flags.index] = compiled.output
+    def all_variants(self, es: bool = False,
+                     mode: Optional[str] = None) -> "VariantSet":
+        """Compile all 256 combinations and deduplicate the emitted text.
+
+        The default ``trie`` mode walks the shared-prefix compilation trie
+        (:class:`repro.core.trie.VariantTrie`): one pass application per
+        distinct reachable IR state instead of a full pipeline run per
+        combination, with byte-identical output.  ``mode="naive"`` (or
+        ``REPRO_COMPILE=naive``) forces the brute-force path.
+        """
+        if compile_mode(mode) == "naive":
+            by_text: Dict[str, List[OptimizationFlags]] = {}
+            index_to_text: Dict[int, str] = {}
+            for flags in OptimizationFlags.all_combinations():
+                compiled = self.compile(flags, es=es)
+                by_text.setdefault(compiled.output, []).append(flags)
+                index_to_text[flags.index] = compiled.output
+            return VariantSet(by_text, index_to_text)
+        from repro.core.trie import VariantTrie
+
+        index_to_text = VariantTrie(self._module, es=es).compile()
+        by_text = {}
+        for index in range(256):
+            text = index_to_text[index]
+            by_text.setdefault(text, []).append(
+                OptimizationFlags.from_index(index))
         return VariantSet(by_text, index_to_text)
 
 

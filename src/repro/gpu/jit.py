@@ -9,24 +9,30 @@ conformant driver cannot (paper Section III-B).
 
 The redundancy (or absence) of each offline flag in a vendor's JIT is one of
 the two mechanisms behind the paper's cross-platform variance.
+
+The front end (preprocess -> parse -> lower -> SSA) is identical for every
+vendor, so it is memoized per source text: a study measuring one variant on
+5 platforms parses it once and each vendor pipeline runs off a
+name-preserving clone (exactly equivalent to lowering fresh — see
+:mod:`repro.ir.clone`).
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Tuple
 
 from repro.glsl import parse_shader, preprocess
 from repro.ir import lower_shader, promote_to_ssa
+from repro.ir.clone import clone_module
 from repro.ir.module import Module
-from repro.passes.canonicalize import canonicalize
 from repro.passes.coalesce import coalesce
-from repro.passes.cse import local_cse
-from repro.passes.dce import trivial_dce
 from repro.passes.div_to_mul import div_to_mul
 from repro.passes.gvn import gvn
 from repro.passes.hoist import hoist
-from repro.passes.simplify_cfg import merge_straightline_blocks
+from repro.passes.manager import run_cleanup
 from repro.passes.unroll import unroll
 
 _SAFE_PASSES = {
@@ -35,6 +41,36 @@ _SAFE_PASSES = {
     "div_to_mul": div_to_mul,
     "hoist": hoist,
 }
+
+#: Pristine lowered modules per source text (vendor-independent front-end
+#: work).  Entries are never mutated — vendors clone before optimizing.
+_FRONTEND_MEMO: "OrderedDict[str, Module]" = OrderedDict()
+_FRONTEND_MEMO_SIZE = 256
+_FRONTEND_LOCK = threading.Lock()
+
+
+def shared_frontend(source: str) -> Module:
+    """Parse + lower + SSA-promote *source* once per distinct text."""
+    with _FRONTEND_LOCK:
+        module = _FRONTEND_MEMO.get(source)
+        if module is not None:
+            _FRONTEND_MEMO.move_to_end(source)
+            return module
+    pp = preprocess(source)
+    shader = parse_shader(pp.text)
+    module = lower_shader(shader, version=pp.version)
+    promote_to_ssa(module.function)
+    with _FRONTEND_LOCK:
+        _FRONTEND_MEMO[source] = module
+        while len(_FRONTEND_MEMO) > _FRONTEND_MEMO_SIZE:
+            _FRONTEND_MEMO.popitem(last=False)
+    return module
+
+
+def clear_frontend_memo() -> None:
+    """Drop the shared front-end memo (tests and memory-sensitive callers)."""
+    with _FRONTEND_LOCK:
+        _FRONTEND_MEMO.clear()
 
 
 @dataclass(frozen=True)
@@ -50,25 +86,15 @@ class VendorJIT:
 
     def compile(self, source: str) -> Module:
         """Parse and optimize GLSL the way this vendor's driver would."""
-        pp = preprocess(source)
-        shader = parse_shader(pp.text)
-        module = lower_shader(shader, version=pp.version)
-        promote_to_ssa(module.function)
+        module = clone_module(shared_frontend(source), preserve_names=True)
         function = module.function
 
-        def cleanup() -> None:
-            canonicalize(function)
-            merge_straightline_blocks(function)
-            local_cse(function)
-            trivial_dce(function)
-            canonicalize(function)
-
-        cleanup()
+        run_cleanup(function)
         if self.unroll_max_trips > 0:
             unroll(function, max_trips=self.unroll_max_trips,
                    max_growth=self.unroll_max_growth)
-            cleanup()
+            run_cleanup(function)
         for name in self.passes:
             _SAFE_PASSES[name](function)
-            cleanup()
+            run_cleanup(function)
         return module

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import HarnessError
@@ -39,12 +39,30 @@ SAMPLE_FRAGMENTS: Tuple[Tuple[float, float], ...] = (
 
 @dataclass
 class ExecutionReport:
-    """Everything the environment learned about one variant."""
+    """Everything the environment learned about one variant.
+
+    ``vertex_shader`` is generated lazily from the fragment interface: the
+    paper's harness needs a matching vertex stage to render at all, but
+    every measurement consumer here discards it, so the hot measurement
+    loop should not pay for string generation per run.
+    """
 
     cost: CostBreakdown
     true_ns: float
     measurement: Measurement
-    vertex_shader: str
+    #: fragment-shader interface the lazy vertex shader is generated from.
+    interface: object = None
+    _vertex_shader: Optional[str] = field(default=None, repr=False)
+
+    @property
+    def vertex_shader(self) -> str:
+        """The matching vertex stage (generated on first access)."""
+        if self._vertex_shader is None:
+            if self.interface is None:
+                raise HarnessError("report has no interface to generate a "
+                                   "vertex shader from")
+            self._vertex_shader = generate_vertex_shader(self.interface)
+        return self._vertex_shader
 
 
 class ShaderExecutionEnvironment:
@@ -92,7 +110,6 @@ class ShaderExecutionEnvironment:
         rng = random.Random((seed * 1_000_003) ^ platform_digest)
         measurement = run_protocol(true_ns, self.platform.timer, rng,
                                    draws_per_frame=self.platform.draws_per_frame)
-        vertex_shader = generate_vertex_shader(module.interface)
         return ExecutionReport(cost=cost, true_ns=true_ns,
                                measurement=measurement,
-                               vertex_shader=vertex_shader)
+                               interface=module.interface)

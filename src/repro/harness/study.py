@@ -9,11 +9,14 @@ The study now runs on the :mod:`repro.search` layers — the
 cache) and the :class:`Scheduler`.  With ``max_workers > 1`` a process pool
 primes the engine first (the work is pure-Python and CPU-bound, so threads
 would serialize on the GIL): one task per unique shader source compiles the
-256-combination variant set, then one task per uncached (shader x variant x
-platform) unit measures it.  Assembly then reads everything back through
-the engine's cache.  Compiles and measurements are pure functions of their
-inputs, so serial runs, parallel runs, and the pre-refactor nested loop all
-produce byte-identical :class:`StudyResult` JSON.
+256-combination variant set (via the shared-prefix compilation trie,
+:mod:`repro.core.trie`), then the uncached (shader x variant x platform)
+units are measured in per-text :class:`MeasureBatch` groups so each emitted
+shader pickles across the process boundary once rather than once per unit.
+Assembly then reads everything back through the engine's cache.  Compiles
+and measurements are pure functions of their inputs, so serial runs,
+parallel runs, and the pre-refactor nested loop all produce byte-identical
+:class:`StudyResult` JSON.
 
 With ``cache_path`` set, the cache persists both measurements and compiled
 variant sets, so a repeated study — and the ``repro report`` pipeline built
@@ -33,7 +36,7 @@ from repro.harness.environment import ShaderExecutionEnvironment
 from repro.harness.results import ShaderCase, ShaderResult, StudyResult, VariantRecord
 from repro.search.cache import ResultCache, make_key, source_digest
 from repro.search.engine import EvaluationEngine
-from repro.search.scheduler import Scheduler, WorkUnit
+from repro.search.scheduler import MeasureBatch, Scheduler, WorkUnit
 
 
 @dataclass
@@ -146,7 +149,10 @@ def _prime_engine(corpus: Sequence[ShaderCase], platforms: List[Platform],
         engine.frontend_count += 1
         engine.compile_count += 256
 
-    # Phase 2: one task per uncached (shader x variant x platform) unit.
+    # Phase 2: uncached (shader x variant x platform) units, batched per
+    # shader text so the pool pickles each text once (instead of once per
+    # variant x platform) and the worker's shared JIT front-end memo parses
+    # it once for all of the batch's platforms.
     units: List[WorkUnit] = []
     for case_index, case in enumerate(corpus):
         variant_set = engine.variants_for(case)
@@ -164,16 +170,24 @@ def _prime_engine(corpus: Sequence[ShaderCase], platforms: List[Platform],
     pending = [unit for unit in units
                if make_key(unit.text, -1, unit.platform, unit.seed)
                not in engine.cache]
+    by_text: Dict[str, List[WorkUnit]] = {}
+    for unit in pending:
+        by_text.setdefault(unit.text, []).append(unit)
+    batches = [MeasureBatch(text=text,
+                            tasks=tuple((unit.platform, unit.seed)
+                                        for unit in text_units))
+               for text, text_units in by_text.items()]
     if verbose and pending:
-        print(f"[study] measuring {len(pending)} units "
-              f"on {scheduler.max_workers} workers")
-    for unit, measured in zip(pending, scheduler.map(_measure_unit, pending)):
-        mean_ns, static_ops, registers = measured
-        engine.measure_count += 1
-        engine.cache.put(
-            make_key(unit.text, -1, unit.platform, unit.seed),
-            {"mean_ns": mean_ns, "static_ops": static_ops,
-             "registers": registers})
+        print(f"[study] measuring {len(pending)} units in {len(batches)} "
+              f"text batches on {scheduler.max_workers} workers")
+    for batch, measured in zip(batches, scheduler.map(_measure_batch, batches)):
+        for (platform_name, unit_seed), sample in zip(batch.tasks, measured):
+            mean_ns, static_ops, registers = sample
+            engine.measure_count += 1
+            engine.cache.put(
+                make_key(batch.text, -1, platform_name, unit_seed),
+                {"mean_ns": mean_ns, "static_ops": static_ops,
+                 "registers": registers})
 
 
 def _compile_case_variants(source: str) -> Dict[int, str]:
@@ -182,12 +196,19 @@ def _compile_case_variants(source: str) -> Dict[int, str]:
     return ShaderCompiler(source).all_variants().index_to_text
 
 
-def _measure_unit(unit: WorkUnit) -> Tuple[float, int, int]:
-    """Pool worker: measure one unit from scratch."""
-    env = ShaderExecutionEnvironment(platform_by_name(unit.platform))
-    report = env.run(unit.text, seed=unit.seed)
-    return (report.measurement.mean_ns, report.cost.static_ops,
-            report.cost.registers)
+def _measure_batch(batch: MeasureBatch) -> List[Tuple[float, int, int]]:
+    """Pool worker: measure one shader text on every (platform, seed) task.
+
+    The text crosses the process boundary once per batch; the vendor JITs'
+    shared front-end memo then parses it once for all platforms here.
+    """
+    results: List[Tuple[float, int, int]] = []
+    for platform_name, seed in batch.tasks:
+        env = ShaderExecutionEnvironment(platform_by_name(platform_name))
+        report = env.run(batch.text, seed=seed)
+        results.append((report.measurement.mean_ns, report.cost.static_ops,
+                        report.cost.registers))
+    return results
 
 
 def _variant_seed(seed: int, case_index: int, variant_id: int) -> int:

@@ -1,5 +1,17 @@
 """Deep-copy a Function/Module (used to run 256 flag combinations off one
-parse+lower instead of re-running the frontend per combination)."""
+parse+lower instead of re-running the frontend per combination).
+
+Cloning never mutates its source: unreachable blocks are filtered during the
+copy rather than removed from the input, so a module shared between trie
+states (the "flag disabled" edge reuses its parent verbatim) stays intact
+while its siblings clone and diverge.
+
+``preserve_names=True`` carries each instruction's SSA name onto its copy.
+The reassociation passes order expression leaves by those names (SSA
+creation order), so a mid-pipeline clone must keep them for the copy to
+behave byte-identically to continuing on the original; a fresh-name clone
+renumbers values in RPO, which is only equivalent when cloning a pristine
+front-end module (every variant then gets the *same* renumbering)."""
 
 from __future__ import annotations
 
@@ -14,12 +26,25 @@ from repro.ir.module import BasicBlock, Function, Module
 from repro.ir.values import Slot, Value
 
 
-def clone_module(module: Module) -> Module:
-    return Module(clone_function(module.function), module.interface,
-                  module.version)
+def clone_module(module: Module, preserve_names: bool = False) -> Module:
+    return Module(clone_function(module.function, preserve_names),
+                  module.interface, module.version)
 
 
-def clone_function(function: Function) -> Function:
+def _reachable_blocks(function: Function) -> set:
+    reachable = set()
+    stack = [function.entry]
+    while stack:
+        block = stack.pop()
+        if block in reachable:
+            continue
+        reachable.add(block)
+        stack.extend(block.successors())
+    return reachable
+
+
+def clone_function(function: Function,
+                   preserve_names: bool = False) -> Function:
     new_fn = Function(function.name)
     block_map: Dict[BasicBlock, BasicBlock] = {}
     slot_map: Dict[Slot, Slot] = {}
@@ -32,8 +57,10 @@ def clone_function(function: Function) -> Function:
         slot_map[slot] = clone
         new_fn.slots.append(clone)
 
-    function.remove_unreachable_blocks()
+    reachable = _reachable_blocks(function)
     for block in function.blocks:
+        if block not in reachable:
+            continue
         block_map[block] = new_fn.add_block(BasicBlock(block.name))
 
     # Pre-create phi shells (they may be used across back edges), then clone
@@ -44,10 +71,14 @@ def clone_function(function: Function) -> Function:
 
     phis: Dict[Phi, Phi] = {}
     for block in function.blocks:
+        if block not in reachable:
+            continue
         new_block = block_map[block]
         for instr in block.instrs:
             if isinstance(instr, Phi):
                 new_phi = Phi(instr.ty)
+                if preserve_names:
+                    new_phi.name = instr.name
                 new_block.instrs.append(new_phi)
                 new_phi.block = new_block
                 phis[instr] = new_phi
@@ -59,12 +90,16 @@ def clone_function(function: Function) -> Function:
             if isinstance(instr, Phi):
                 continue
             new_instr = _clone(instr, value_map, block_map, slot_map)
+            if preserve_names:
+                new_instr.name = instr.name
             new_block.instrs.append(new_instr)
             new_instr.block = new_block
             value_map[instr] = new_instr
 
     for old_phi, new_phi in phis.items():
         for pred, value in old_phi.incoming:
+            if pred not in block_map:  # edge from an unreachable block
+                continue
             new_phi.add_incoming(block_map[pred], value_map.get(value, value))
 
     return new_fn

@@ -12,11 +12,14 @@ from repro.passes.flags import (
     OptimizationFlags, flip_bit, hamming_distance, mutate_index,
     neighbor_indices, popcount, random_index, uniform_crossover,
 )
-from repro.passes.manager import run_passes
+from repro.passes.manager import (
+    PASS_ORDER, apply_flag_pass, run_cleanup, run_passes,
+)
 
 __all__ = [
     "OptimizationFlags", "ALL_FLAG_NAMES", "DEFAULT_LUNARGLASS",
     "FLAG_COUNT", "SPACE_SIZE", "run_passes",
+    "PASS_ORDER", "apply_flag_pass", "run_cleanup",
     "flip_bit", "neighbor_indices", "popcount", "hamming_distance",
     "random_index", "uniform_crossover", "mutate_index",
 ]

@@ -49,22 +49,34 @@ _PASS_FN = {
 }
 
 
+def run_cleanup(function) -> None:
+    """The always-on canonical cleanup (runs before the first flag pass and
+    again after every flag pass, as in LunarGlass)."""
+    canonicalize(function)
+    merge_straightline_blocks(function)
+    local_cse(function)
+    trivial_dce(function)
+    canonicalize(function)
+
+
+def apply_flag_pass(module: Module, name: str) -> int:
+    """One incremental pipeline step: a single flag pass plus the canonical
+    cleanup.  ``run_passes`` is exactly ``run_cleanup`` followed by one such
+    step per enabled flag in ``PASS_ORDER`` — the compilation trie
+    (:mod:`repro.core.trie`) walks edges of precisely this granularity."""
+    if name not in _PASS_FN:
+        raise KeyError(f"unknown flag pass {name!r}; have {PASS_ORDER}")
+    changed = _PASS_FN[name](module.function)
+    run_cleanup(module.function)
+    return changed
+
+
 def run_passes(module: Module, flags: OptimizationFlags) -> Dict[str, int]:
     """Run the configured pipeline in place; returns per-pass change counts."""
-    function = module.function
     stats: Dict[str, int] = {}
-
-    def cleanup() -> None:
-        canonicalize(function)
-        merge_straightline_blocks(function)
-        local_cse(function)
-        trivial_dce(function)
-        canonicalize(function)
-
-    cleanup()
+    run_cleanup(module.function)
     for name in PASS_ORDER:
         if not getattr(flags, name):
             continue
-        stats[name] = _PASS_FN[name](function)
-        cleanup()
+        stats[name] = apply_flag_pass(module, name)
     return stats

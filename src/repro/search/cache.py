@@ -17,6 +17,7 @@ import hashlib
 import json
 import os
 import tempfile
+from functools import lru_cache
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -26,8 +27,14 @@ from typing import Dict, Optional, Union
 CACHE_VERSION = 1
 
 
+@lru_cache(maxsize=4096)
 def source_digest(source: str) -> str:
-    """The content address of one shader text."""
+    """The content address of one shader text.
+
+    Memoized: ``make_key`` sits on the hot loop of every ``measure`` /
+    ``evaluate`` call, and re-hashing a multi-kilobyte shader text per call
+    dwarfs the dictionary lookup it guards.
+    """
     return hashlib.sha256(source.encode()).hexdigest()
 
 
@@ -48,6 +55,10 @@ class ResultCache:
         self._entries: Dict[str, dict] = {}
         self.hits = 0
         self.misses = 0
+        #: True when the in-memory store has entries the disk hasn't seen;
+        #: ``save()`` is a no-op otherwise, so a fully warm study/report
+        #: replay never rewrites the (potentially large) JSON store.
+        self._dirty = False
         if self.path is not None:
             self._load()
 
@@ -66,7 +77,9 @@ class ResultCache:
         return entry
 
     def put(self, key: str, value: dict) -> None:
-        self._entries[key] = value
+        if self._entries.get(key) != value:
+            self._entries[key] = value
+            self._dirty = True
 
     # ------------------------------------------------------------------
     # Compiled variant sets
@@ -111,8 +124,10 @@ class ResultCache:
                 positions[text] = len(texts)
                 texts.append(text)
             combos[str(index)] = positions[text]
-        self._entries[self.variants_key(digest)] = {"texts": texts,
-                                                    "combos": combos}
+        entry = {"texts": texts, "combos": combos}
+        if self._entries.get(self.variants_key(digest)) != entry:
+            self._entries[self.variants_key(digest)] = entry
+            self._dirty = True
 
     # ------------------------------------------------------------------
     # Disk store
@@ -134,8 +149,9 @@ class ResultCache:
             self._entries.update(entries)
 
     def save(self) -> None:
-        """Atomically persist the store (no-op for memory-only caches)."""
-        if self.path is None:
+        """Atomically persist the store (no-op for memory-only caches and
+        when nothing changed since the last load/save)."""
+        if self.path is None or not self._dirty:
             return
         payload = {"version": CACHE_VERSION, "entries": self._entries}
         self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -145,6 +161,7 @@ class ResultCache:
             with os.fdopen(fd, "w") as handle:
                 json.dump(payload, handle)
             os.replace(tmp, self.path)
+            self._dirty = False
         except BaseException:
             # Never leak the temp file, whatever the dump/replace raised
             # (TypeError on an unserializable entry, OSError, Ctrl-C).

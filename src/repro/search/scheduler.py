@@ -19,7 +19,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, TypeVar
+from typing import Callable, Iterable, List, Optional, Tuple, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -37,6 +37,20 @@ class WorkUnit:
     platform: str
     text: str
     seed: int
+
+
+@dataclass(frozen=True)
+class MeasureBatch:
+    """Every pending measurement of one shader text, shipped as one unit.
+
+    Batching per text means a process pool pickles each emitted shader once
+    instead of once per (variant x platform) unit, and the worker's shared
+    JIT front-end memo parses it once for all platforms in the batch.
+    """
+
+    text: str
+    #: (platform name, measurement seed) per pending measurement.
+    tasks: Tuple[Tuple[str, int], ...]
 
 
 def default_workers() -> int:

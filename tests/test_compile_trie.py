@@ -1,0 +1,160 @@
+"""Trie-vs-naive variant compilation equivalence.
+
+The shared-prefix compilation trie (repro.core.trie) must be a pure
+optimization: byte-identical ``VariantSet`` contents — texts, flag
+groupings, even insertion order — and byte-identical ``StudyResult`` JSON
+versus the brute-force per-combination path, under every ``REPRO_COMPILE``
+mode and ``max_workers`` setting.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.pipeline import ShaderCompiler, compile_mode
+from repro.core.trie import VariantTrie
+from repro.corpus import MOTIVATING_SHADER, default_corpus
+from repro.gpu.platform import all_platforms
+from repro.harness.study import StudyConfig, run_study
+from repro.ir.clone import clone_module
+from repro.ir.fingerprint import fingerprint_module
+from repro.passes import OptimizationFlags
+from repro.passes.manager import PASS_ORDER
+from repro.search.cache import ResultCache
+
+
+@pytest.fixture(scope="module")
+def equivalence_corpus():
+    """A cross-section of corpus families plus the motivating shader (the
+    full 50-shader corpus runs in the benchmark job, not tier-1)."""
+    return default_corpus(max_shaders=6)
+
+
+def _variant_sets(source: str, es: bool = False):
+    compiler = ShaderCompiler(source)
+    return (compiler.all_variants(es=es, mode="naive"),
+            compiler.all_variants(es=es, mode="trie"))
+
+
+# ---------------------------------------------------------------------------
+# Byte-identical VariantSet
+# ---------------------------------------------------------------------------
+
+
+def test_trie_matches_naive_on_motivating_shader():
+    naive, trie = _variant_sets(MOTIVATING_SHADER)
+    assert trie.index_to_text == naive.index_to_text
+    assert trie.by_text == naive.by_text
+    assert list(trie.by_text) == list(naive.by_text), "insertion order drifted"
+    for text, combos in naive.by_text.items():
+        assert trie.by_text[text] == combos
+
+
+def test_trie_matches_naive_across_corpus(equivalence_corpus):
+    for case in equivalence_corpus:
+        naive, trie = _variant_sets(case.source)
+        assert trie.index_to_text == naive.index_to_text, case.name
+        assert trie.by_text == naive.by_text, case.name
+        assert list(trie.by_text) == list(naive.by_text), case.name
+
+
+def test_trie_matches_naive_in_es_dialect():
+    naive, trie = _variant_sets(MOTIVATING_SHADER, es=True)
+    assert trie.index_to_text == naive.index_to_text
+    assert all(text.startswith("#version 310 es")
+               for text in trie.by_text)
+
+
+def test_property_random_flag_subsets_match_fresh_compiles():
+    """Property test: for random flag subsets, the trie's text equals an
+    independent single-combination pipeline run (not just the naive
+    ``all_variants`` loop, which shares the compiler instance)."""
+    compiler = ShaderCompiler(MOTIVATING_SHADER)
+    trie_set = compiler.all_variants(mode="trie")
+    rng = random.Random(20180417)
+    for index in rng.sample(range(256), 32):
+        flags = OptimizationFlags.from_index(index)
+        fresh = ShaderCompiler(MOTIVATING_SHADER).compile(flags)
+        assert trie_set.index_to_text[index] == fresh.output, flags
+
+
+# ---------------------------------------------------------------------------
+# The trie actually shares work
+# ---------------------------------------------------------------------------
+
+
+def test_trie_shares_prefixes_and_dedups_emission():
+    compiler = ShaderCompiler(MOTIVATING_SHADER)
+    trie = VariantTrie(compiler._module)
+    index_to_text = trie.compile()
+    assert len(index_to_text) == 256
+    # Full binary tree would be 255 pass runs; the naive path pays 1024.
+    assert trie.stats.pass_runs <= 255
+    assert trie.stats.merges > 0, "no converging states on an 8-pass walk?"
+    # One emission per distinct final state, not per combination.
+    assert trie.stats.emits == len(set(index_to_text.values()))
+    assert trie.stats.emits < 256
+    assert len(trie.stats.level_states) == len(PASS_ORDER) + 1
+
+
+def test_fingerprint_is_clone_invariant_and_change_sensitive():
+    compiler = ShaderCompiler(MOTIVATING_SHADER)
+    base = compiler._module
+    fp = fingerprint_module(base)
+    assert fp == fingerprint_module(base), "fingerprint must be a pure function"
+    clone = clone_module(base, preserve_names=True)
+    assert fingerprint_module(clone) == fp, \
+        "name-preserving clone must fingerprint identically"
+    from repro.passes.manager import run_cleanup
+    run_cleanup(clone.function)
+    assert fingerprint_module(clone) != fp, \
+        "cleanup changes the IR, so the fingerprint must move"
+
+
+def test_clone_does_not_mutate_source_module():
+    compiler = ShaderCompiler(MOTIVATING_SHADER)
+    base = compiler._module
+    before = fingerprint_module(base)
+    blocks_before = list(base.function.blocks)
+    clone_module(base)
+    clone_module(base, preserve_names=True)
+    assert fingerprint_module(base) == before
+    assert base.function.blocks == blocks_before
+
+
+# ---------------------------------------------------------------------------
+# Mode plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_compile_mode_resolution(monkeypatch):
+    monkeypatch.delenv("REPRO_COMPILE", raising=False)
+    assert compile_mode() == "trie"
+    assert compile_mode("naive") == "naive"
+    monkeypatch.setenv("REPRO_COMPILE", "naive")
+    assert compile_mode() == "naive"
+    assert compile_mode("trie") == "trie", "explicit arg beats the env"
+    with pytest.raises(ValueError):
+        compile_mode("zealous")
+
+
+# ---------------------------------------------------------------------------
+# Byte-identical StudyResult
+# ---------------------------------------------------------------------------
+
+
+def test_study_json_identical_across_modes_and_jobs(monkeypatch):
+    corpus = default_corpus(max_shaders=2)
+    platforms = all_platforms()[:2]
+
+    def study_json(mode: str, workers: int) -> str:
+        monkeypatch.setenv("REPRO_COMPILE", mode)
+        config = StudyConfig(platforms=platforms, max_workers=workers)
+        return run_study(corpus, config).to_json()
+
+    baseline = study_json("naive", 1)
+    assert study_json("trie", 1) == baseline
+    assert study_json("trie", 2) == baseline
+    assert study_json("naive", 2) == baseline

@@ -309,3 +309,45 @@ def test_intel_is_quietest_platform():
     sigmas = {p.name: p.timer.sigma for p in all_platforms()}
     assert sigmas["Intel"] == min(sigmas.values())
     assert sigmas["Qualcomm"] == max(sigmas.values())
+
+
+# ---------------------------------------------------------------------------
+# Shared JIT front end
+# ---------------------------------------------------------------------------
+
+
+def test_vendor_jits_share_one_frontend_per_source():
+    from repro.corpus import MOTIVATING_SHADER
+    from repro.gpu.jit import clear_frontend_memo, shared_frontend
+
+    clear_frontend_memo()
+    base = shared_frontend(MOTIVATING_SHADER)
+    assert shared_frontend(MOTIVATING_SHADER) is base, "front end re-parsed"
+
+    # Vendors optimize clones; the memoized module must stay pristine.
+    from repro.ir.fingerprint import fingerprint_module
+
+    before = fingerprint_module(base)
+    for platform in (NVIDIA, ARM):
+        platform.jit.compile(MOTIVATING_SHADER)
+    assert fingerprint_module(shared_frontend(MOTIVATING_SHADER)) == before
+
+
+def test_execution_report_vertex_shader_is_lazy(monkeypatch):
+    import repro.harness.environment as environment
+    from repro.corpus import MOTIVATING_SHADER
+    from repro.harness.environment import ShaderExecutionEnvironment
+
+    calls = []
+    real = environment.generate_vertex_shader
+
+    def counting(interface):
+        calls.append(interface)
+        return real(interface)
+
+    monkeypatch.setattr(environment, "generate_vertex_shader", counting)
+    report = ShaderExecutionEnvironment(NVIDIA).run(MOTIVATING_SHADER, seed=3)
+    assert not calls, "measurement-only run generated a vertex shader"
+    vertex = report.vertex_shader
+    assert "gl_Position" in vertex and len(calls) == 1
+    assert report.vertex_shader is vertex, "second access regenerated"

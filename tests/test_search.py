@@ -343,3 +343,36 @@ def test_tune_cli_smoke(capsys):
     out = capsys.readouterr().out
     assert "strategy=greedy" in out
     assert "worst-platform gap" in out
+
+
+# ---------------------------------------------------------------------------
+# Cache persistence hygiene
+# ---------------------------------------------------------------------------
+
+
+def test_cache_save_skips_clean_store(tmp_path):
+    """A warm-cache replay must not rewrite the JSON store byte-for-byte."""
+    store = tmp_path / "cache.json"
+    cache = ResultCache(store)
+    cache.put("k", {"mean_ns": 1.0})
+    cache.save()
+    assert store.exists()
+
+    store.unlink()
+    cache.save()                      # nothing changed since the last save
+    assert not store.exists(), "clean cache rewrote the store"
+    cache.put("k", {"mean_ns": 1.0})  # identical value: still clean
+    cache.save()
+    assert not store.exists()
+
+    cache.put("k", {"mean_ns": 2.0})  # a real change: must persist again
+    cache.save()
+    assert store.exists()
+
+    warm = ResultCache(store)         # freshly loaded stores start clean
+    store.unlink()
+    warm.save()
+    assert not store.exists()
+    warm.put_variants("d", {0: "text"})
+    warm.save()
+    assert store.exists()
