@@ -36,6 +36,7 @@ def arm_static_cycles(source: str) -> float:
 
 
 def static_cycles(function: Function) -> float:
+    """Estimated Mali cycle count of *function*: block costs weighted by loop depth."""
     weights = _block_weights(function)
     total = 0.0
     for block in function.blocks:

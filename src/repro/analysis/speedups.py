@@ -29,6 +29,7 @@ class OverallSpeedups:
 
 
 def average_speedups(study: StudyResult) -> List[OverallSpeedups]:
+    """Fig. 5 rows: per-platform best-possible / best-static / default speed-ups."""
     out: List[OverallSpeedups] = []
     for platform in study.platforms:
         best_pct = sum(s.best_speedup_pct(platform) for s in study.shaders)
@@ -57,6 +58,7 @@ class PerShaderDistribution:
 
 def per_shader_distribution(study: StudyResult,
                             platform: str) -> PerShaderDistribution:
+    """Fig. 7 series: per-shader speed-ups under the three flag policies."""
     static = best_static_flags(study, platform)
     dist = PerShaderDistribution(platform=platform)
     rows = []

@@ -1,11 +1,12 @@
-"""Static code-size statistics (paper Fig. 4a)."""
+"""Static code-size statistics (paper Fig. 4a) and corpus composition."""
 
 from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
 from repro.glsl.metrics import lines_of_code
-from repro.harness.results import ShaderCase
+from repro.harness.results import ShaderCase, StudyResult
+from repro.reporting.spec import TableSpec
 
 
 def loc_distribution(corpus: Sequence[ShaderCase]) -> List[int]:
@@ -13,7 +14,42 @@ def loc_distribution(corpus: Sequence[ShaderCase]) -> List[int]:
     return sorted((lines_of_code(case.source) for case in corpus), reverse=True)
 
 
+def corpus_composition_spec(study: StudyResult) -> TableSpec:
+    """Per-family corpus composition: case counts, size, variant richness.
+
+    Families named ``synth_*`` are the procedurally synthesized ones
+    (:mod:`repro.corpus.synth`); the closing rows summarize the hand-written
+    and synthesized partitions so a scaled-out study shows at a glance what
+    its corpus was made of.
+    """
+    by_family: Dict[str, list] = {}
+    for shader in study.shaders:
+        by_family.setdefault(shader.family, []).append(shader)
+
+    def summary(label: str, shaders: list) -> tuple:
+        locs = sorted(s.loc for s in shaders)
+        uniques = [s.unique_variant_count for s in shaders]
+        return (label, len(shaders), min(locs), locs[len(locs) // 2],
+                max(locs), f"{sum(uniques) / len(uniques):.1f}")
+
+    rows = [summary(name, shaders)
+            for name, shaders in sorted(by_family.items())]
+    synth = [s for s in study.shaders if s.family.startswith("synth_")]
+    hand = [s for s in study.shaders if not s.family.startswith("synth_")]
+    if synth and hand:
+        rows.append(summary("(all hand-written)", hand))
+        rows.append(summary("(all synthesized)", synth))
+    return TableSpec.make(
+        ["family", "cases", "min LoC", "median LoC", "max LoC",
+         "mean unique variants"],
+        rows,
+        caption=f"Corpus composition: {len(study.shaders)} cases across "
+                f"{len(by_family)} families ({len(hand)} hand-written cases, "
+                f"{len(synth)} synthesized)")
+
+
 def loc_summary(corpus: Sequence[ShaderCase]) -> Dict[str, float]:
+    """Count/min/median/max LoC and the under-50-line fraction (Fig. 4a)."""
     values = loc_distribution(corpus)
     under_50 = sum(1 for v in values if v < 50)
     return {

@@ -14,6 +14,7 @@ def variant_count_distribution(study: StudyResult) -> List[int]:
 
 
 def uniqueness_summary(study: StudyResult) -> Dict[str, float]:
+    """Count, max, median, and under-10 fraction of unique-variant counts."""
     counts = variant_count_distribution(study)
     return {
         "count": len(counts),

@@ -5,14 +5,21 @@ Commands mirror the paper's workflow:
 - ``optimize``  — run the offline optimizer over a GLSL file.
 - ``variants``  — count/list the unique variants of a shader (Fig. 4c).
 - ``time``      — time a shader on one or all simulated platforms.
-- ``study``     — run the exhaustive study over the corpus and print the
-                  Fig. 5 / Table I summaries.
+- ``study``     — run the exhaustive study over the corpus (optionally one
+                  shard of it) and print the Fig. 5 / Table I summaries.
 - ``tune``      — search the flag space with a budgeted strategy and report
                   the best-found flags against the exhaustive optimum.
 - ``report``    — regenerate every registered paper artifact from a study
                   run (or saved study JSON) as report.md / report.html.
+- ``merge-results`` — reassemble ``--shard`` study runs (and their caches)
+                  into one complete study, byte-identical to an unsharded
+                  run.
 
-See ``docs/cli.md`` for copy-pasteable examples of each command.
+``study``, ``tune``, and ``report`` all accept ``--synth-seed`` /
+``--synth-count`` to extend the corpus with procedurally synthesized
+übershader families (see ``repro.corpus.synth`` and ``docs/corpus.md``).
+See ``docs/cli.md`` for copy-pasteable examples of each command and
+``docs/tutorial.md`` for a ten-minute walkthrough.
 """
 
 from __future__ import annotations
@@ -27,8 +34,8 @@ from repro.core import ShaderCompiler, optimize_source
 from repro.corpus import default_corpus
 from repro.gpu.platform import all_platforms, platform_by_name
 from repro.harness.environment import ShaderExecutionEnvironment
-from repro.harness.results import StudyResult
-from repro.harness.study import StudyConfig, run_study
+from repro.harness.results import StudyResult, merge_study_results
+from repro.harness.study import ShardSpec, StudyConfig, run_study
 from repro.passes import ALL_FLAG_NAMES, DEFAULT_LUNARGLASS, OptimizationFlags
 from repro.passes.flags import SPACE_SIZE
 from repro.reporting import ReportBuilder, all_artifacts, render_table
@@ -98,11 +105,31 @@ def _cmd_time(args: argparse.Namespace) -> int:
     return 0
 
 
+def _synth_corpus(args: argparse.Namespace):
+    """The corpus selected by the shared --max-shaders/--synth-* flags."""
+    return default_corpus(max_shaders=args.max_shaders or None,
+                          synth_seed=args.synth_seed,
+                          synth_count=args.synth_count)
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
-    corpus = default_corpus(max_shaders=args.max_shaders or None)
-    study = run_study(corpus, StudyConfig(seed=args.seed, verbose=True,
-                                          max_workers=args.jobs,
-                                          cache_path=args.cache or None))
+    shard = None
+    if args.shard:
+        try:
+            shard = ShardSpec.parse(args.shard)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from None
+        if not args.output:
+            print("note: --shard without --output; the shard result is "
+                  "needed by `repro merge-results`", file=sys.stderr)
+    corpus = _synth_corpus(args)
+    study = run_study(corpus, StudyConfig(
+        seed=args.seed, verbose=True, max_workers=args.jobs,
+        cache_path=args.cache or None, shard=shard,
+        checkpoint_every=args.checkpoint_every))
+    if shard is not None:
+        print(f"\nshard {shard}: {len(study.shaders)} of {len(corpus)} "
+              "cases (summaries cover this shard only)")
     print()
     rows = [(r.platform, r.best_possible, r.best_static, r.default_lunarglass)
             for r in average_speedups(study)]
@@ -119,10 +146,46 @@ def _cmd_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_merge_results(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    if bool(args.caches) != bool(args.cache_out):
+        raise SystemExit("error: --caches and --cache-out go together")
+    parts = []
+    for path in args.shards:
+        try:
+            parts.append(StudyResult.from_json(Path(path).read_text()))
+        except OSError as exc:
+            raise SystemExit(f"error: cannot read shard {path!r}: "
+                             f"{exc.strerror or exc}") from None
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SystemExit(
+                f"error: {path!r} is not a saved study JSON ({exc})") from None
+    try:
+        merged = merge_study_results(parts)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    Path(args.output).write_text(merged.to_json())
+    print(f"merged {len(parts)} shards -> {len(merged.shaders)} shaders "
+          f"x {len(merged.platforms)} platforms: {args.output}")
+
+    if args.cache_out:
+        merged_cache = ResultCache(args.cache_out)
+        for path in args.caches:
+            try:
+                added = merged_cache.merge_from(path)
+            except ValueError as exc:
+                raise SystemExit(f"error: {exc}") from None
+            print(f"cache {path}: {added} new entries")
+        merged_cache.save()
+        print(f"merged cache ({len(merged_cache)} entries): {args.cache_out}")
+    return 0
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     if args.budget < 1:
         raise SystemExit(f"error: --budget must be >= 1, got {args.budget}")
-    corpus = default_corpus(max_shaders=args.max_shaders or None)
+    corpus = _synth_corpus(args)
     platforms = _platforms_for(args.platform)
     engine = EvaluationEngine(platforms=platforms, seed=args.seed,
                               cache=ResultCache(args.cache or None))
@@ -196,7 +259,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
         ignored = [flag for flag, on in
                    [("--max-shaders", args.max_shaders),
                     ("--seed", args.seed != 2018),
-                    ("--jobs", args.jobs is not None)] if on]
+                    ("--jobs", args.jobs is not None),
+                    ("--synth-count", args.synth_count)] if on]
         if ignored:
             print(f"note: {', '.join(ignored)} ignored with --study "
                   "(the saved study's corpus and seed are used)",
@@ -211,7 +275,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 f"error: {args.study!r} is not a saved study JSON ({exc})") \
                 from None
     else:
-        corpus = default_corpus(max_shaders=args.max_shaders or None)
+        corpus = _synth_corpus(args)
         study = builder.run_study(corpus)
     report = builder.build(study, only=only)
     paths = report.write(args.out_dir)
@@ -229,7 +293,21 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_corpus_args(p: argparse.ArgumentParser) -> None:
+    """The corpus-selection flags shared by study/tune/report."""
+    p.add_argument("--max-shaders", type=int, default=0,
+                   help="truncate the corpus (0 = everything); truncation "
+                        "is lazy, so huge synth corpora stay cheap")
+    p.add_argument("--synth-count", type=int, default=0,
+                   help="append N procedurally synthesized übershader "
+                        "families (repro.corpus.synth)")
+    p.add_argument("--synth-seed", type=int, default=None,
+                   help="seed for the synthesized families (default: 2018); "
+                        "changes their content, never their names/order")
+
+
 def build_parser() -> argparse.ArgumentParser:
+    """The complete ``repro`` argparse tree (one sub-parser per command)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ISPASS 2018 shader compiler optimization reproduction")
@@ -255,15 +333,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_time)
 
     p = sub.add_parser("study", help="run the exhaustive corpus study")
-    p.add_argument("--max-shaders", type=int, default=0)
+    _add_corpus_args(p)
     p.add_argument("--seed", type=int, default=2018)
     p.add_argument("--output", default="", help="save study JSON here")
     p.add_argument("--jobs", type=int, default=None,
                    help="measurement worker threads "
                         "(default: $REPRO_JOBS or serial)")
     p.add_argument("--cache", default="",
-                   help="persist the result cache to this JSON file")
+                   help="persist the result cache to this file (.json = one "
+                        "blob, .jsonl = append-only streaming store)")
+    p.add_argument("--shard", default="",
+                   help="run one shard, e.g. 1/3; merge the saved outputs "
+                        "with `repro merge-results`")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   help="stream results: persist the cache and release "
+                        "compiled variants every N cases (0 = off)")
     p.set_defaults(fn=_cmd_study)
+
+    p = sub.add_parser(
+        "merge-results",
+        help="merge --shard study outputs (and caches) into one study")
+    p.add_argument("shards", nargs="+",
+                   help="the shard study JSON files, in any order")
+    p.add_argument("--output", required=True,
+                   help="write the merged StudyResult JSON here "
+                        "(byte-identical to an unsharded run)")
+    p.add_argument("--caches", nargs="*", default=[],
+                   help="shard result-cache files to union")
+    p.add_argument("--cache-out", default="",
+                   help="write the merged result cache here")
+    p.set_defaults(fn=_cmd_merge_results)
 
     p = sub.add_parser(
         "tune", help="search the flag space under an evaluation budget")
@@ -274,7 +373,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max unique flag combinations to evaluate")
     p.add_argument("--platform", default="all",
                    help="Intel|AMD|NVIDIA|ARM|Qualcomm|all")
-    p.add_argument("--max-shaders", type=int, default=0)
+    _add_corpus_args(p)
     p.add_argument("--seed", type=int, default=2018)
     p.add_argument("--cache", default="",
                    help="persist the result cache to this JSON file")
@@ -295,7 +394,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out-dir", default="reports",
                    help="directory for report.md / report.html "
                         "(default: reports/)")
-    p.add_argument("--max-shaders", type=int, default=0)
+    _add_corpus_args(p)
     p.add_argument("--seed", type=int, default=2018)
     p.add_argument("--jobs", type=int, default=None,
                    help="measurement worker processes "
@@ -309,6 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Parse *argv* (default: ``sys.argv``) and dispatch to the sub-command."""
     args = build_parser().parse_args(argv)
     return args.fn(args)
 

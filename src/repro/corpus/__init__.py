@@ -7,9 +7,16 @@ the paper describes: "some shaders are identical apart from preprocessor
 #define statements, forming families of similar shaders".  The size
 distribution follows the paper's Fig. 4a power law: many tiny shaders, a
 long tail, nothing above ~300 lines.
+
+Beyond the hand-written families, :mod:`repro.corpus.synth` procedurally
+synthesizes arbitrarily many additional families from seeded feature-block
+composition (``default_corpus(synth_seed=…, synth_count=…)``), and the
+corpus stream is lazy — see ``docs/corpus.md`` for the authoring guide.
 """
 
-from repro.corpus.generator import default_corpus, corpus_families
+from repro.corpus.generator import corpus_families, default_corpus, iter_corpus
 from repro.corpus.motivating import MOTIVATING_SHADER
+from repro.corpus.synth import synth_families, synth_family
 
-__all__ = ["default_corpus", "corpus_families", "MOTIVATING_SHADER"]
+__all__ = ["default_corpus", "corpus_families", "iter_corpus",
+           "synth_family", "synth_families", "MOTIVATING_SHADER"]

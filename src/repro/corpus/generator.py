@@ -1,32 +1,99 @@
-"""Corpus assembly: instantiate every family and expose the default corpus."""
+"""Corpus assembly: hand-written + synthesized families, lazily instantiated.
+
+The corpus is defined as an ordered stream of :class:`ShaderCase` objects —
+every variant of every family, alphabetical by family name (synthesized
+families are named ``synth_0000`` ... so they form one contiguous run inside
+that order).  :func:`iter_corpus` yields the stream lazily: a family's
+template is only built and instantiated once the iteration reaches it, so
+``default_corpus(max_shaders=10, synth_count=100_000)`` pays for ten cases,
+not a hundred thousand.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from heapq import merge
+from itertools import islice
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
+from repro.corpus import synth
 from repro.corpus.templates import ALL_FAMILIES
 from repro.corpus.ubershader import Family
 from repro.harness.results import ShaderCase
 
 
-def corpus_families() -> Dict[str, Family]:
-    """All übershader families by name."""
-    return dict(ALL_FAMILIES)
+def corpus_families(synth_seed: Optional[int] = None,
+                    synth_count: int = 0) -> Dict[str, Family]:
+    """All übershader families by name.
+
+    With ``synth_count > 0``, the first *synth_count* synthesized families
+    for ``synth_seed`` (default seed 2018) are included alongside the
+    hand-written ones.  This instantiates every requested family; prefer
+    :func:`iter_corpus` when only a prefix of the corpus is needed.
+    """
+    families = dict(ALL_FAMILIES)
+    if synth_count:
+        families.update(synth.synth_families(
+            2018 if synth_seed is None else synth_seed, synth_count))
+    return families
+
+
+def _family_stream(synth_seed: Optional[int],
+                   synth_count: int) -> Iterator[Tuple[str, Callable[[], Family]]]:
+    """Lazily yield ``(name, zero-arg builder)`` in sorted-name order.
+
+    Names are known without building templates, and both the hand-written
+    names (pre-sorted) and the synthesized names (zero-padded, so index
+    order *is* lexicographic order) are already sorted streams — a lazy
+    two-way merge establishes the corpus order without materializing
+    anything, so a truncated consumer never even names the tail.
+    """
+    handwritten = ((name, lambda name=name: ALL_FAMILIES[name])
+                   for name in sorted(ALL_FAMILIES))
+    if not synth_count:
+        return handwritten
+    if synth_count > synth.MAX_SYNTH_FAMILIES:
+        raise ValueError(f"synth_count {synth_count} exceeds the "
+                         f"{synth.MAX_SYNTH_FAMILIES}-family cap")
+    seed = 2018 if synth_seed is None else synth_seed
+    synthesized = ((synth.family_name(index),
+                    lambda index=index: synth.synth_family(seed, index))
+                   for index in range(synth_count))
+    return merge(handwritten, synthesized, key=lambda pair: pair[0])
+
+
+def iter_corpus(families: Optional[List[str]] = None,
+                synth_seed: Optional[int] = None,
+                synth_count: int = 0) -> Iterator[ShaderCase]:
+    """Lazily yield the corpus stream in deterministic order.
+
+    Order is family name (sorted), then variant order within the family.
+    ``families`` restricts to named families.  Synthesized families are
+    built on demand, so truncated consumers (``islice``, sharding) never
+    pay instantiation cost for cases they skip past the stream's tail.
+    """
+    for name, make in _family_stream(synth_seed, synth_count):
+        if families is not None and name not in families:
+            continue
+        family = make()
+        for variant in family.variants:
+            yield family.instantiate(variant)
 
 
 def default_corpus(max_shaders: Optional[int] = None,
-                   families: Optional[List[str]] = None) -> List[ShaderCase]:
+                   families: Optional[List[str]] = None,
+                   synth_seed: Optional[int] = None,
+                   synth_count: int = 0) -> List[ShaderCase]:
     """The default study corpus: every instance of every family.
 
     ``families`` restricts to named families; ``max_shaders`` truncates (for
-    quick test runs).  Order is deterministic: family name, then variant
-    order within the family.
+    quick test runs) — lazily, via :func:`iter_corpus`, so a truncated run
+    over a huge synthesized corpus only instantiates the cases it keeps.
+    ``synth_seed``/``synth_count`` append the procedural families from
+    :mod:`repro.corpus.synth`.  Order is deterministic: family name, then
+    variant order within the family.
     """
-    cases: List[ShaderCase] = []
-    for name in sorted(ALL_FAMILIES):
-        if families is not None and name not in families:
-            continue
-        cases.extend(ALL_FAMILIES[name].instances())
+    stream = iter_corpus(families=families, synth_seed=synth_seed,
+                         synth_count=synth_count)
     if max_shaders is not None:
-        cases = cases[:max_shaders]
-    return cases
+        return list(islice(stream, max_shaders))
+    return list(stream)

@@ -1,0 +1,462 @@
+"""Seeded procedural übershader synthesis: feature blocks -> families.
+
+The hand-written corpus (``repro.corpus.templates``) is a faithful but small
+stand-in for the paper's extracted GFXBench shaders.  This module scales it
+out: a :func:`synth_family` call composes *feature blocks* — a texture-fetch
+pattern, an optional lighting model, an optional loop/branch shape, and a
+chain of math-heavy post effects — into a new übershader
+:class:`~repro.corpus.ubershader.Family` whose ``#define``-gated sections
+mirror the structure the paper describes ("a single file containing numerous
+graphics techniques is customised via preprocessor directives").
+
+Every block is written in the same GLSL subset the hand-written corpus
+already exercises (and the front end, IR verifier, and all five simulated
+platforms are tested against), so every generated instance parses, lowers to
+verifiable SSA, and measures on every platform.  Blocks are chosen so the
+synthesized corpus stresses every optimization pass:
+
+- constant-trip-count loops (``unroll``);
+- repeated subexpressions across blocks (``gvn`` / ``cse``);
+- long multiply-add chains (``fp_reassociate`` / ``reassociate``);
+- divisions by uniforms and constants (``div_to_mul``);
+- branch diamonds and ``#ifdef``-gated conditionals (``simplify_cfg`` /
+  ``hoist``).
+
+Determinism: a family is a pure function of ``(seed, index)`` — the RNG is
+``random.Random(f"repro-synth:{seed}:{index}")`` (string seeding hashes with
+SHA-512, so it is stable across processes and Python builds, unaffected by
+``PYTHONHASHSEED``).  The family *name* depends only on the index
+(``synth_0007``), so seeds change the corpus content, never its shape or
+ordering.  See ``docs/corpus.md`` for the authoring guide.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.corpus.ubershader import Family, Variant
+
+#: Sort-stable prefix for generated family names: ``synth_00000`` ... sorts
+#: as one contiguous run inside the alphabetical corpus order.
+FAMILY_PREFIX = "synth_"
+
+#: Zero-pad width (and therefore cap) for synth family indices: names must
+#: sort lexicographically in index order so the corpus stream can lazily
+#: merge them into the alphabetical family order without materializing the
+#: whole name list.
+MAX_SYNTH_FAMILIES = 100_000
+
+
+@dataclass(frozen=True)
+class FeatureBlock:
+    """One composable shader fragment.
+
+    ``body`` is a sequence of statements reading and rebinding the running
+    ``vec3 color`` value.  ``inputs``/``uniforms`` are declarations hoisted
+    (deduplicated) to the top of the generated shader; ``helpers`` are
+    free-function definitions emitted before ``main``.  ``bool_knobs`` name
+    ``#ifdef`` gates inside ``body``; ``value_knobs`` map ``#define`` names
+    that *must* be defined (loop trip counts and the like) to the values a
+    variant may choose from.
+    """
+
+    name: str
+    body: str
+    inputs: Tuple[str, ...] = ()
+    uniforms: Tuple[str, ...] = ()
+    helpers: Tuple[str, ...] = ()
+    bool_knobs: Tuple[str, ...] = ()
+    value_knobs: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# Block pools.  Uniform/varying names are globally unique per block so any
+# combination of blocks composes without declaration collisions; knob names
+# are globally unique so variants toggle exactly one block's gate.
+# ---------------------------------------------------------------------------
+
+#: Texture-fetch patterns: exactly one seeds the running ``color`` value.
+FETCH_BLOCKS: Tuple[FeatureBlock, ...] = (
+    FeatureBlock(
+        name="fetch_single",
+        inputs=("in vec2 uv;",),
+        uniforms=("uniform sampler2D baseMap;", "uniform vec4 baseTint;"),
+        body="""\
+    vec3 color = texture(baseMap, uv).rgb;
+#ifdef SYN_TINT
+    color = color * baseTint.rgb;
+#endif
+""",
+        bool_knobs=("SYN_TINT",),
+    ),
+    FeatureBlock(
+        name="fetch_detail",
+        inputs=("in vec2 uv;",),
+        uniforms=("uniform sampler2D baseMap;",
+                  "uniform sampler2D detailMap;",
+                  "uniform float detailBlend;"),
+        body="""\
+    vec3 color = texture(baseMap, uv).rgb;
+#ifdef SYN_DETAIL
+    vec3 detail = texture(detailMap, uv * 8.0).rgb;
+    color = mix(color, color * detail * 2.0, detailBlend);
+#endif
+""",
+        bool_knobs=("SYN_DETAIL",),
+    ),
+    FeatureBlock(
+        # Constant-trip-count accumulation loop: unroll fodder, and the
+        # per-tap divide is div_to_mul fodder.
+        name="fetch_taps",
+        inputs=("in vec2 uv;",),
+        uniforms=("uniform sampler2D baseMap;", "uniform float tapSpread;"),
+        body="""\
+    vec3 color = vec3(0.0);
+    for (int t = 0; t < SYN_TAPS; t++) {
+        vec2 tapUv = uv + vec2(float(t) * tapSpread, 0.0);
+        color += texture(baseMap, tapUv).rgb / float(SYN_TAPS);
+    }
+""",
+        value_knobs={"SYN_TAPS": ("2", "3", "4")},
+    ),
+    FeatureBlock(
+        # Water-style distorted lookup: normal decode + dependent fetch.
+        name="fetch_distort",
+        inputs=("in vec2 uv;",),
+        uniforms=("uniform sampler2D baseMap;",
+                  "uniform sampler2D flowMap;",
+                  "uniform float flowScale;"),
+        body="""\
+    vec3 flow = texture(flowMap, uv).rgb * 2.0 - vec3(1.0);
+    vec2 warped = uv + flow.xy * flowScale;
+    vec3 color = texture(baseMap, warped).rgb;
+#ifdef SYN_DOUBLE_WARP
+    vec2 warped2 = warped + flow.xy * flowScale * 0.5;
+    color = (color + texture(baseMap, warped2).rgb) * 0.5;
+#endif
+""",
+        bool_knobs=("SYN_DOUBLE_WARP",),
+    ),
+)
+
+#: Lighting models: consume ``color`` as the surface albedo.
+LIGHT_BLOCKS: Tuple[FeatureBlock, ...] = (
+    FeatureBlock(
+        # Lambert/Blinn loop: unroll + hoist (the view vector is loop
+        # invariant) + fp_reassociate (the contribution chain).
+        name="light_loop",
+        inputs=("in vec3 v_normal;", "in vec3 v_pos;"),
+        uniforms=("uniform vec3 synLightPos[4];",
+                  "uniform vec3 synLightColor[4];",
+                  "uniform vec3 synViewPos;",
+                  "uniform float synShine;"),
+        body="""\
+    vec3 nrm = normalize(v_normal);
+    vec3 lit = color * 0.1;
+    for (int i = 0; i < SYN_LIGHTS; i++) {
+        vec3 l = normalize(synLightPos[i] - v_pos);
+        float ndl = max(dot(nrm, l), 0.0);
+        vec3 contrib = color * synLightColor[i] * ndl;
+#ifdef SYN_SPEC
+        vec3 view = normalize(synViewPos - v_pos);
+        vec3 h = normalize(l + view);
+        float s = pow(max(dot(nrm, h), 0.0), synShine);
+        contrib = contrib + synLightColor[i] * s * 0.5;
+#endif
+#ifdef SYN_ATT
+        float d = distance(synLightPos[i], v_pos);
+        contrib = contrib / (1.0 + 0.09 * d + 0.032 * d * d);
+#endif
+        lit += contrib;
+    }
+    color = lit;
+""",
+        bool_knobs=("SYN_SPEC", "SYN_ATT"),
+        value_knobs={"SYN_LIGHTS": ("1", "2", "4")},
+    ),
+    FeatureBlock(
+        # Hemisphere + rim: branch-free math, gvn fodder (normalize(v_normal)
+        # recomputed when combined with other normal users).
+        name="light_hemi",
+        inputs=("in vec3 v_normal;", "in vec3 v_pos;"),
+        uniforms=("uniform vec3 skyTint;", "uniform vec3 groundTint;",
+                  "uniform vec3 hemiViewPos;"),
+        body="""\
+    vec3 hn = normalize(v_normal);
+    float hemi = hn.y * 0.5 + 0.5;
+    vec3 ambient = mix(groundTint, skyTint, hemi);
+    color = color * ambient;
+#ifdef SYN_RIM
+    vec3 toView = normalize(hemiViewPos - v_pos);
+    float rim = 1.0 - max(dot(hn, toView), 0.0);
+    color = color + skyTint * rim * rim * rim * 0.4;
+#endif
+""",
+        bool_knobs=("SYN_RIM",),
+    ),
+)
+
+#: Loop/branch shapes: control-flow stress decoupled from lighting.
+SHAPE_BLOCKS: Tuple[FeatureBlock, ...] = (
+    FeatureBlock(
+        # Nested constant loop (PCF-style): unroll's nested case.
+        name="shape_grid",
+        inputs=("in vec2 uv;",),
+        uniforms=("uniform sampler2D occMap;", "uniform float occTexel;"),
+        body="""\
+    float occ = 0.0;
+    for (int gx = 0; gx < SYN_GRID; gx++) {
+        for (int gy = 0; gy < SYN_GRID; gy++) {
+            vec2 off = vec2(float(gx), float(gy)) * occTexel;
+            occ += texture(occMap, uv + off).r;
+        }
+    }
+    occ = occ / (float(SYN_GRID) * float(SYN_GRID));
+    color = color * (0.3 + 0.7 * occ);
+""",
+        value_knobs={"SYN_GRID": ("2", "3")},
+    ),
+    FeatureBlock(
+        # Luma branch diamond: simplify_cfg + hoist fodder.
+        name="shape_branch",
+        uniforms=("uniform float lumaCut;", "uniform vec3 shadowTint;",
+                  "uniform vec3 highlightTint;"),
+        body="""\
+    float luma = dot(color, vec3(0.2126, 0.7152, 0.0722));
+#ifdef SYN_SPLIT_TONE
+    if (luma < lumaCut) {
+        color = color + shadowTint * (lumaCut - luma);
+    } else {
+        color = color * (highlightTint * (luma - lumaCut) + vec3(1.0));
+    }
+#else
+    color = mix(color, color * highlightTint, luma);
+#endif
+""",
+        bool_knobs=("SYN_SPLIT_TONE",),
+    ),
+    FeatureBlock(
+        # Conditional accumulation inside a constant loop, SSAO-style.
+        name="shape_ao",
+        inputs=("in vec2 uv;",),
+        uniforms=("uniform sampler2D aoDepth;", "uniform float aoBias;"),
+        body="""\
+    float center = texture(aoDepth, uv).r;
+    float dark = 0.0;
+    for (int a = 0; a < SYN_AO_SAMPLES; a++) {
+        vec2 aoff = vec2(float(a) * 0.01 - 0.02, float(a) * 0.007);
+        float neighbor = texture(aoDepth, uv + aoff).r;
+        if (neighbor < center - aoBias) {
+            dark += 1.0;
+        }
+    }
+    color = color * (1.0 - dark / float(SYN_AO_SAMPLES) * 0.5);
+""",
+        value_knobs={"SYN_AO_SAMPLES": ("4", "6", "8")},
+    ),
+)
+
+#: Post effects: math-heavy ``color`` transforms, chained 1..3 deep.
+POST_BLOCKS: Tuple[FeatureBlock, ...] = (
+    FeatureBlock(
+        # Tonemap: rational polynomial (div_to_mul + fp_reassociate).
+        name="post_tonemap",
+        uniforms=("uniform float synExposure;",),
+        body="""\
+    color = color * synExposure;
+#ifdef SYN_FILMIC
+    vec3 tx = max(color - vec3(0.004), vec3(0.0));
+    vec3 tnum = tx * (6.2 * tx + vec3(0.5));
+    vec3 tden = tx * (6.2 * tx + vec3(1.7)) + vec3(0.06);
+    color = tnum / tden;
+#else
+    color = color / (color + vec3(1.0));
+#endif
+""",
+        bool_knobs=("SYN_FILMIC",),
+    ),
+    FeatureBlock(
+        name="post_grade",
+        uniforms=("uniform float synSat;", "uniform float synCon;"),
+        body="""\
+    float gradeLuma = dot(color, vec3(0.2126, 0.7152, 0.0722));
+    color = mix(vec3(gradeLuma), color, synSat);
+#ifdef SYN_CONTRAST
+    color = (color - vec3(0.5)) * synCon + vec3(0.5);
+#endif
+""",
+        bool_knobs=("SYN_CONTRAST",),
+    ),
+    FeatureBlock(
+        name="post_vignette",
+        inputs=("in vec2 uv;",),
+        uniforms=("uniform float vigStrength;",),
+        body="""\
+    vec2 vigPos = uv - vec2(0.5);
+    float vigDist = length(vigPos) * 2.0;
+#ifdef SYN_SMOOTH_VIG
+    float vig = 1.0 - smoothstep(0.4, 1.2, vigDist) * vigStrength;
+#else
+    float vig = 1.0 - clamp(vigDist - 0.4, 0.0, 1.0) * vigStrength;
+#endif
+    color = color * vig;
+""",
+        bool_knobs=("SYN_SMOOTH_VIG",),
+    ),
+    FeatureBlock(
+        # Long multiply-add chain through a helper: reassociation fodder
+        # plus an (often) uncalled helper inflating the LoC metric, like the
+        # paper's extracted sources.
+        name="post_curve",
+        uniforms=("uniform float curveAmount;",),
+        helpers=("""\
+vec3 synCurve(vec3 c, float k)
+{
+    vec3 c2 = c * c;
+    vec3 c3 = c2 * c;
+    return c + (c2 * 0.35 - c3 * 0.15) * k;
+}
+""",),
+        body="""\
+#ifdef SYN_CURVE
+    color = synCurve(color, curveAmount);
+#else
+    color = color * (vec3(1.0) + curveAmount * 0.1);
+#endif
+    color = clamp(color, vec3(0.0), vec3(1.0));
+""",
+        bool_knobs=("SYN_CURVE",),
+    ),
+    FeatureBlock(
+        name="post_fog",
+        inputs=("in float v_depth;",),
+        uniforms=("uniform vec3 synFogColor;", "uniform float synFogDensity;"),
+        body="""\
+#ifdef SYN_EXP2_FOG
+    float fd = v_depth * synFogDensity;
+    float fogF = exp(-fd * fd);
+#else
+    float fogF = exp(-v_depth * synFogDensity);
+#endif
+    color = mix(synFogColor, color, clamp(fogF, 0.0, 1.0));
+""",
+        bool_knobs=("SYN_EXP2_FOG",),
+    ),
+    FeatureBlock(
+        name="post_gamma",
+        uniforms=("uniform float synGammaPow;",),
+        body="""\
+#ifdef SYN_DITHER
+    float grain = fract(sin(dot(color.xy, vec2(12.9898, 78.233))) * 43758.5453);
+    color = color + vec3(grain / 255.0);
+#endif
+    color = pow(max(color, vec3(0.0)), vec3(1.0 / synGammaPow));
+""",
+        bool_knobs=("SYN_DITHER",),
+    ),
+)
+
+
+def family_name(index: int) -> str:
+    """The deterministic name of synth family *index* (seed-independent)."""
+    if not 0 <= index < MAX_SYNTH_FAMILIES:
+        raise ValueError(f"synth family index must be in "
+                         f"[0, {MAX_SYNTH_FAMILIES}), got {index}")
+    return f"{FAMILY_PREFIX}{index:05d}"
+
+
+def _rng(seed: int, index: int) -> random.Random:
+    # String seeding hashes via SHA-512: stable across processes/platforms.
+    return random.Random(f"repro-synth:{seed}:{index}")
+
+
+def _pick_blocks(rng: random.Random) -> List[FeatureBlock]:
+    """Draw one composition: fetch [+ light] [+ shape] + 1..3 post blocks."""
+    blocks = [rng.choice(FETCH_BLOCKS)]
+    if rng.random() < 0.7:
+        blocks.append(rng.choice(LIGHT_BLOCKS))
+    if rng.random() < 0.6:
+        blocks.append(rng.choice(SHAPE_BLOCKS))
+    post_count = rng.randint(1, 3)
+    blocks.extend(rng.sample(POST_BLOCKS, post_count))
+    return blocks
+
+
+def _compose_template(blocks: Sequence[FeatureBlock]) -> str:
+    """Assemble deduplicated declarations + helpers + main from *blocks*."""
+    inputs: List[str] = []
+    uniforms: List[str] = []
+    helpers: List[str] = []
+    for block in blocks:
+        for decl in block.inputs:
+            if decl not in inputs:
+                inputs.append(decl)
+        for decl in block.uniforms:
+            if decl not in uniforms:
+                uniforms.append(decl)
+        for helper in block.helpers:
+            if helper not in helpers:
+                helpers.append(helper)
+    lines = ["out vec4 fragColor;"]
+    lines.extend(inputs)
+    lines.extend(uniforms)
+    parts = ["\n".join(lines) + "\n"]
+    parts.extend("\n" + helper for helper in helpers)
+    body = "".join(block.body for block in blocks)
+    parts.append("\nvoid main()\n{\n" + body +
+                 "    fragColor = vec4(color, 1.0);\n}\n")
+    return "".join(parts)
+
+
+def _draw_variants(rng: random.Random,
+                   blocks: Sequence[FeatureBlock]) -> List[Variant]:
+    """2..4 named #define sets over the blocks' knobs.
+
+    Value knobs (loop trip counts) are always defined — the template
+    references them unconditionally, exactly like ``NUM_LIGHTS`` in the
+    hand-written phong family.  Bool knobs gate ``#ifdef`` sections; the
+    first variant is the all-gates-off baseline.
+    """
+    value_knobs: Dict[str, Tuple[str, ...]] = {}
+    bool_knobs: List[str] = []
+    for block in blocks:
+        value_knobs.update(block.value_knobs)
+        bool_knobs.extend(block.bool_knobs)
+
+    def base_defines() -> Dict[str, str]:
+        return {knob: options[0] for knob, options in value_knobs.items()}
+
+    variants = [Variant("base", base_defines())]
+    seen = {tuple(sorted(variants[0].defines.items()))}
+    extra = rng.randint(1, 3)
+    for _ in range(extra * 3):  # a few retries to dodge duplicate draws
+        if len(variants) >= 1 + extra:
+            break
+        defines = {knob: rng.choice(options)
+                   for knob, options in value_knobs.items()}
+        for knob in bool_knobs:
+            if rng.random() < 0.5:
+                defines[knob] = ""
+        key = tuple(sorted(defines.items()))
+        if key in seen:
+            continue
+        seen.add(key)
+        variants.append(Variant(f"v{len(variants)}", defines))
+    return variants
+
+
+def synth_family(seed: int, index: int) -> Family:
+    """Deterministically synthesize family *index* of the stream for *seed*."""
+    rng = _rng(seed, index)
+    blocks = _pick_blocks(rng)
+    template = _compose_template(blocks)
+    variants = _draw_variants(rng, blocks)
+    return Family(family_name(index), template, variants)
+
+
+def synth_families(seed: int, count: int) -> Dict[str, Family]:
+    """The first *count* synthesized families for *seed*, by name."""
+    families = [synth_family(seed, index) for index in range(count)]
+    return {family.name: family for family in families}

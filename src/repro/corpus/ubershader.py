@@ -26,6 +26,7 @@ class Variant:
 
 @dataclass(frozen=True)
 class Family:
+    """One übershader: a template body plus its named #define variant sets."""
     name: str
     template: str
     variants: List[Variant] = field(default_factory=list)

@@ -28,26 +28,31 @@ class Expr:
 
 @dataclass
 class FloatLit(Expr):
+    """Float literal."""
     value: float = 0.0
 
 
 @dataclass
 class IntLit(Expr):
+    """Integer literal."""
     value: int = 0
 
 
 @dataclass
 class BoolLit(Expr):
+    """Boolean literal."""
     value: bool = False
 
 
 @dataclass
 class Ident(Expr):
+    """Name reference."""
     name: str = ""
 
 
 @dataclass
 class Binary(Expr):
+    """Infix binary expression."""
     op: str = ""
     left: Optional[Expr] = None
     right: Optional[Expr] = None
@@ -55,6 +60,7 @@ class Binary(Expr):
 
 @dataclass
 class Unary(Expr):
+    """Prefix unary expression."""
     op: str = ""
     operand: Optional[Expr] = None
     postfix: bool = False  # i++ / i--
@@ -62,6 +68,7 @@ class Unary(Expr):
 
 @dataclass
 class Ternary(Expr):
+    """``cond ? a : b`` conditional expression."""
     cond: Optional[Expr] = None
     then: Optional[Expr] = None
     otherwise: Optional[Expr] = None
@@ -86,6 +93,7 @@ class ArrayLiteral(Expr):
 
 @dataclass
 class Index(Expr):
+    """Subscript expression: ``base[index]``."""
     base: Optional[Expr] = None
     index: Optional[Expr] = None
 
@@ -105,6 +113,7 @@ class Member(Expr):
 
 @dataclass
 class Stmt:
+    """Base class for statements."""
     line: int = 0
 
 
@@ -119,12 +128,14 @@ class Declarator:
 
 @dataclass
 class DeclStmt(Stmt):
+    """Local declaration, e.g. ``vec3 x = ...;``."""
     declarators: List[Declarator] = field(default_factory=list)
     is_const: bool = False
 
 
 @dataclass
 class AssignStmt(Stmt):
+    """Assignment, including the compound ``+=`` family."""
     target: Optional[Expr] = None  # Ident / Index / Member chains
     op: str = "="  # =, +=, -=, *=, /=
     value: Optional[Expr] = None
@@ -132,16 +143,19 @@ class AssignStmt(Stmt):
 
 @dataclass
 class ExprStmt(Stmt):
+    """Expression evaluated for its side effects."""
     expr: Optional[Expr] = None
 
 
 @dataclass
 class BlockStmt(Stmt):
+    """``{ ... }`` statement list."""
     body: List[Stmt] = field(default_factory=list)
 
 
 @dataclass
 class IfStmt(Stmt):
+    """``if`` / ``else`` conditional."""
     cond: Optional[Expr] = None
     then_body: Optional[BlockStmt] = None
     else_body: Optional[BlockStmt] = None
@@ -149,6 +163,7 @@ class IfStmt(Stmt):
 
 @dataclass
 class ForStmt(Stmt):
+    """``for (init; cond; step)`` loop."""
     init: Optional[Stmt] = None
     cond: Optional[Expr] = None
     step: Optional[Stmt] = None
@@ -157,27 +172,32 @@ class ForStmt(Stmt):
 
 @dataclass
 class WhileStmt(Stmt):
+    """``while`` loop."""
     cond: Optional[Expr] = None
     body: Optional[BlockStmt] = None
 
 
 @dataclass
 class ReturnStmt(Stmt):
+    """``return [expr];``."""
     value: Optional[Expr] = None
 
 
 @dataclass
 class BreakStmt(Stmt):
+    """``break;``."""
     pass
 
 
 @dataclass
 class ContinueStmt(Stmt):
+    """``continue;``."""
     pass
 
 
 @dataclass
 class DiscardStmt(Stmt):
+    """``discard;`` — fragment kill."""
     pass
 
 
@@ -199,6 +219,7 @@ class GlobalDecl:
 
 @dataclass
 class Param:
+    """One function parameter."""
     qualifier: str  # "in" | "out" | "inout"
     ty: GLSLType
     name: str
@@ -206,6 +227,7 @@ class Param:
 
 @dataclass
 class FunctionDef:
+    """A function definition: signature plus body."""
     return_type: GLSLType
     name: str
     params: List[Param]

@@ -43,6 +43,7 @@ BUILTIN_NAMES = frozenset(
 
 
 def is_builtin(name: str) -> bool:
+    """Whether *name* is a recognized GLSL builtin function."""
     return name in BUILTIN_NAMES
 
 

@@ -7,6 +7,7 @@ from enum import Enum, auto
 
 
 class TokenKind(Enum):
+    """Lexical token categories."""
     IDENT = auto()
     KEYWORD = auto()
     TYPE = auto()          # basic type name (float, vec3, mat4, sampler2D, ...)

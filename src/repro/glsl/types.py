@@ -10,6 +10,7 @@ from repro.errors import TypeError_
 
 
 class ScalarKind(Enum):
+    """The scalar element kinds."""
     FLOAT = "float"
     INT = "int"
     UINT = "uint"
@@ -26,12 +27,14 @@ class GLSLType:
 
 @dataclass(frozen=True)
 class Void(GLSLType):
+    """The ``void`` type."""
     def __str__(self) -> str:
         return "void"
 
 
 @dataclass(frozen=True)
 class Scalar(GLSLType):
+    """A scalar type (``float`` / ``int`` / ``uint`` / ``bool``)."""
     kind: ScalarKind
 
     def __str__(self) -> str:
@@ -40,6 +43,7 @@ class Scalar(GLSLType):
 
 @dataclass(frozen=True)
 class Vector(GLSLType):
+    """A vector type, e.g. ``vec3`` / ``ivec2`` / ``bvec4``."""
     kind: ScalarKind
     size: int  # 2..4
 
@@ -69,6 +73,7 @@ class Matrix(GLSLType):
 
 @dataclass(frozen=True)
 class Sampler(GLSLType):
+    """An opaque sampler type, e.g. ``sampler2D`` / ``samplerCube``."""
     name: str  # e.g. "sampler2D"
 
     def __str__(self) -> str:
@@ -87,6 +92,7 @@ class Sampler(GLSLType):
 
 @dataclass(frozen=True)
 class Array(GLSLType):
+    """A sized array of some element type."""
     element: GLSLType
     length: Optional[int]  # None for unsized (sized by initializer)
 
@@ -182,6 +188,7 @@ def vector_of(kind: ScalarKind, size: int) -> GLSLType:
 
 
 def is_float_based(ty: GLSLType) -> bool:
+    """Whether *ty* is float-valued (scalar, vector, or matrix)."""
     return isinstance(ty, (Matrix,)) or (
         isinstance(ty, (Scalar, Vector)) and scalar_kind_of(ty) == ScalarKind.FLOAT
     )

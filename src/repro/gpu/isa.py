@@ -31,6 +31,7 @@ _REDUCTIONS = frozenset({"dot", "length", "distance", "normalize", "cross",
 
 
 class OpClass(Enum):
+    """Machine-op cost categories the vendor cost models weigh."""
     ALU = auto()            # simple arithmetic / compares / selects
     MOV = auto()            # data movement: insert/extract/shuffle/construct
     TRANSCENDENTAL = auto()
@@ -46,6 +47,7 @@ class OpClass(Enum):
 
 @dataclass(frozen=True)
 class MachineOp:
+    """One virtual-ISA op: a cost class and the scalar lanes it touches."""
     op_class: OpClass
     width: int  # scalar lanes touched
 

@@ -39,6 +39,7 @@ def all_platforms() -> List[Platform]:
 
 
 def platform_by_name(name: str) -> Platform:
+    """The platform named *name*, case-insensitively (KeyError if unknown)."""
     matches: Dict[str, Platform] = {p.name.lower(): p for p in all_platforms()}
     try:
         return matches[name.lower()]

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 @dataclass(frozen=True)
 class TimerModel:
+    """Timer-query noise model: gaussian noise, overhead, quantization, drift."""
     sigma: float             # relative gaussian noise per query
     overhead_ns: float       # profiling overhead added to each query
     quantum_ns: float        # timer resolution

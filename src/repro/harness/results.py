@@ -1,11 +1,19 @@
 """Result records for the exhaustive study, with JSON (de)serialisation so
-benchmarks can cache a completed study run on disk."""
+benchmarks can cache a completed study run on disk.
+
+A :class:`StudyResult` may describe one *shard* of a larger study (see
+``repro study --shard I/N``): it then carries a :class:`ShardInfo` naming
+the global corpus indices it covers, and :func:`merge_study_results`
+reassembles the full study — byte-identical to an unsharded run, because
+every measurement seed is derived from the global index, not the position
+within the shard.
+"""
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.passes import OptimizationFlags
 
@@ -34,6 +42,7 @@ class VariantRecord:
 
 @dataclass
 class ShaderResult:
+    """Everything the study measured for one corpus shader."""
     name: str
     family: str
     loc: int
@@ -76,13 +85,41 @@ class ShaderResult:
         return max(self.variant_speedup_pct(platform, v) for v in self.variants)
 
 
+@dataclass(frozen=True)
+class ShardInfo:
+    """Which slice of the full corpus one shard result covers."""
+
+    index: int                       # 1-based shard number
+    count: int                       # total number of shards
+    case_indices: List[int]          # global corpus index per shader, in order
+    #: content hash of the *full* corpus (every case's source, in order) —
+    #: merging refuses shards whose corpora differ, which names, indices,
+    #: and seeds alone cannot detect (e.g. two --synth-seed values).
+    corpus_digest: str = ""
+
+    def validate(self, shader_count: int) -> None:
+        """Raise ``ValueError`` on inconsistent shard metadata."""
+        if not 1 <= self.index <= self.count:
+            raise ValueError(f"shard index {self.index} outside 1..{self.count}")
+        if len(self.case_indices) != shader_count:
+            raise ValueError(
+                f"shard {self.index}/{self.count} lists "
+                f"{len(self.case_indices)} case indices for "
+                f"{shader_count} shader results")
+
+
 @dataclass
 class StudyResult:
+    """A completed study (or one shard of one): per-shader variant timings."""
+
     platforms: List[str]
     shaders: List[ShaderResult] = field(default_factory=list)
     seed: int = 0
+    #: set only on shard runs; ``None`` means a complete study.
+    shard: Optional[ShardInfo] = None
 
     def shader(self, name: str) -> ShaderResult:
+        """The result for the shader named *name* (KeyError if absent)."""
         for result in self.shaders:
             if result.name == name:
                 return result
@@ -93,6 +130,9 @@ class StudyResult:
     # ------------------------------------------------------------------
 
     def to_json(self) -> str:
+        """Serialize to JSON.  Complete studies omit the ``shard`` key, so
+        their serialization is byte-identical whether the study ran whole or
+        was merged back together from shards."""
         payload = {
             "platforms": self.platforms,
             "seed": self.seed,
@@ -118,13 +158,29 @@ class StudyResult:
                 for s in self.shaders
             ],
         }
+        if self.shard is not None:
+            payload["shard"] = {
+                "index": self.shard.index,
+                "count": self.shard.count,
+                "case_indices": list(self.shard.case_indices),
+                "corpus_digest": self.shard.corpus_digest,
+            }
         return json.dumps(payload)
 
     @staticmethod
     def from_json(text: str) -> "StudyResult":
+        """Rebuild a :class:`StudyResult` from :meth:`to_json` output."""
         payload = json.loads(text)
+        shard = None
+        if "shard" in payload:
+            raw = payload["shard"]
+            shard = ShardInfo(index=int(raw["index"]),
+                              count=int(raw["count"]),
+                              case_indices=[int(i)
+                                            for i in raw["case_indices"]],
+                              corpus_digest=str(raw.get("corpus_digest", "")))
         result = StudyResult(platforms=payload["platforms"],
-                             seed=payload.get("seed", 0))
+                             seed=payload.get("seed", 0), shard=shard)
         for s in payload["shaders"]:
             shader = ShaderResult(
                 name=s["name"], family=s["family"], loc=s["loc"],
@@ -142,3 +198,59 @@ class StudyResult:
                 ))
             result.shaders.append(shader)
         return result
+
+
+def merge_study_results(parts: Sequence[StudyResult]) -> StudyResult:
+    """Reassemble shard results into one complete :class:`StudyResult`.
+
+    Every part must carry :class:`ShardInfo` from the *same* sharded study
+    (same platform list, same seed, same shard count), and together the
+    parts must cover every global corpus index exactly once.  The merged
+    result orders shaders by global index and drops the shard metadata, so
+    its JSON is byte-identical to the equivalent unsharded run.
+    """
+    if not parts:
+        raise ValueError("no shard results to merge")
+    first = parts[0]
+    for part in parts:
+        if part.shard is None:
+            raise ValueError("cannot merge: a result has no shard metadata "
+                             "(was it produced with --shard?)")
+        part.shard.validate(len(part.shaders))
+        if part.platforms != first.platforms:
+            raise ValueError(f"cannot merge: platform lists differ "
+                             f"({part.platforms} vs {first.platforms})")
+        if part.seed != first.seed:
+            raise ValueError(f"cannot merge: seeds differ "
+                             f"({part.seed} vs {first.seed})")
+        if part.shard.count != first.shard.count:
+            raise ValueError(f"cannot merge: shard counts differ "
+                             f"({part.shard.count} vs {first.shard.count})")
+        if part.shard.corpus_digest != first.shard.corpus_digest:
+            raise ValueError(
+                "cannot merge: shards were run over different corpora "
+                f"(corpus digest {part.shard.corpus_digest[:12]}… vs "
+                f"{first.shard.corpus_digest[:12]}…); check --synth-seed/"
+                "--synth-count/--max-shaders were identical across shards")
+    seen_shards = [part.shard.index for part in parts]
+    if len(set(seen_shards)) != len(seen_shards):
+        raise ValueError(f"cannot merge: duplicate shard indices {seen_shards}")
+
+    by_global: Dict[int, ShaderResult] = {}
+    for part in parts:
+        for global_index, shader in zip(part.shard.case_indices, part.shaders):
+            if global_index in by_global:
+                raise ValueError(
+                    f"cannot merge: case index {global_index} appears twice")
+            by_global[global_index] = shader
+    expected = set(range(len(by_global)))
+    if set(by_global) != expected:
+        missing = sorted(expected - set(by_global))[:8]
+        extra = sorted(set(by_global) - expected)[:8]
+        raise ValueError(
+            f"cannot merge: case indices do not cover 0..{len(by_global) - 1} "
+            f"(missing {missing}, unexpected {extra}); are all "
+            f"{first.shard.count} shards present?")
+    return StudyResult(platforms=list(first.platforms),
+                       shaders=[by_global[i] for i in sorted(by_global)],
+                       seed=first.seed)

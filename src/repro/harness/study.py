@@ -21,6 +21,23 @@ parallel runs, and the pre-refactor nested loop all produce byte-identical
 With ``cache_path`` set, the cache persists both measurements and compiled
 variant sets, so a repeated study — and the ``repro report`` pipeline built
 on top of it — replays from disk with zero compiles and zero measurements.
+
+Large corpora (see ``repro.corpus.synth``) add two scale-out levers:
+
+- **Sharding** (``shard=ShardSpec.parse("2/3")``): the corpus is striped
+  deterministically across shards (global index mod shard count), each
+  shard runs independently — on one machine or many — and
+  :func:`repro.harness.results.merge_study_results` reassembles a result
+  byte-identical to the unsharded run.  This works because every
+  measurement seed derives from the *global* corpus index, which shard runs
+  carry along.
+- **Streaming** (``checkpoint_every=N``): per-case results land in the
+  result cache incrementally (a ``.jsonl`` cache path appends entry-by-
+  entry instead of rewriting one JSON blob), and each finished case's
+  compiled variant texts are released from the engine's in-process memos.
+  A serial streaming run holds one case's variants in memory; a parallel
+  one primes in chunks of ``checkpoint_every x max_workers`` cases, so
+  memory is bounded by the chunk, never the corpus.
 """
 
 from __future__ import annotations
@@ -33,29 +50,91 @@ from repro.core.pipeline import ShaderCompiler, VariantSet
 from repro.glsl.metrics import lines_of_code
 from repro.gpu.platform import Platform, all_platforms, platform_by_name
 from repro.harness.environment import ShaderExecutionEnvironment
-from repro.harness.results import ShaderCase, ShaderResult, StudyResult, VariantRecord
+from repro.harness.results import (
+    ShaderCase, ShaderResult, ShardInfo, StudyResult, VariantRecord,
+)
 from repro.search.cache import ResultCache, make_key, source_digest
 from repro.search.engine import EvaluationEngine
 from repro.search.scheduler import MeasureBatch, Scheduler, WorkUnit
 
 
+@dataclass(frozen=True)
+class ShardSpec:
+    """One slice of a sharded study: shard *index* (1-based) of *count*.
+
+    Cases are striped by global corpus index (``index mod count``), so
+    every shard gets a balanced mix of small and large families instead of
+    one shard inheriting the whole synth tail.
+    """
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"shard count must be >= 1, got {self.count}")
+        if not 1 <= self.index <= self.count:
+            raise ValueError(
+                f"shard index must be in 1..{self.count}, got {self.index}")
+
+    @classmethod
+    def parse(cls, text: str) -> "ShardSpec":
+        """Parse the CLI form ``"I/N"`` (e.g. ``"2/3"``)."""
+        head, sep, tail = text.partition("/")
+        try:
+            if not sep:
+                raise ValueError
+            index, count = int(head), int(tail)
+        except ValueError:
+            raise ValueError(
+                f"shard spec must look like 'I/N' (e.g. '2/3'), "
+                f"got {text!r}") from None
+        # Range errors get the precise __post_init__ message, not the
+        # format one — '0/3' is well-formed, just out of range.
+        return cls(index=index, count=count)
+
+    def select(self, total: int) -> List[int]:
+        """The global corpus indices belonging to this shard."""
+        return [i for i in range(total) if i % self.count == self.index - 1]
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
+
+
 @dataclass
 class StudyConfig:
+    """Everything that parameterizes one ``run_study`` invocation."""
+
     platforms: Optional[Sequence[Platform]] = None
     seed: int = 2018
     verbose: bool = False
     #: worker processes for compile/measure sharding; 1 = serial, None =
     #: honor the REPRO_JOBS environment variable (serial when unset).
     max_workers: Optional[int] = None
-    #: optional on-disk JSON store for the result cache; repeated studies
-    #: and benchmark runs skip recompilation/re-measurement.
+    #: optional on-disk store for the result cache; repeated studies and
+    #: benchmark runs skip recompilation/re-measurement.  A ``.jsonl`` path
+    #: selects the append-only streaming store.
     cache_path: Optional[str] = None
+    #: run only this shard of the corpus (see :class:`ShardSpec`); the
+    #: result carries :class:`~repro.harness.results.ShardInfo` so
+    #: ``merge_study_results`` can reassemble the full study.
+    shard: Optional[ShardSpec] = None
+    #: when > 0: persist the result cache after every N cases and release
+    #: each finished case's compiled variant texts from the engine's
+    #: in-process memos (streaming mode — memory stays bounded by one case
+    #: serially, or by one N x max_workers priming chunk in parallel runs).
+    checkpoint_every: int = 0
 
 
 def run_study(corpus: Sequence[ShaderCase],
               config: Optional[StudyConfig] = None,
               engine: Optional[EvaluationEngine] = None,
               scheduler: Optional[Scheduler] = None) -> StudyResult:
+    """Run the exhaustive study over *corpus* (or one shard of it).
+
+    Serial runs, parallel runs, shard runs merged back together, and warm
+    cache replays all produce byte-identical :class:`StudyResult` JSON.
+    """
     config = config or StudyConfig()
     platforms = list(config.platforms or all_platforms())
     if engine is None:
@@ -63,19 +142,58 @@ def run_study(corpus: Sequence[ShaderCase],
                                   cache=ResultCache(config.cache_path))
     scheduler = scheduler or Scheduler(config.max_workers, kind="process")
 
-    if scheduler.parallel:
-        _prime_engine(corpus, platforms, engine, scheduler, config.seed,
-                      config.verbose)
+    cases = list(corpus)
+    case_indices = list(range(len(cases)))
+    shard_info = None
+    if config.shard is not None:
+        corpus_digest = _corpus_digest(cases)
+        case_indices = config.shard.select(len(cases))
+        cases = [cases[i] for i in case_indices]
+        shard_info = ShardInfo(index=config.shard.index,
+                               count=config.shard.count,
+                               case_indices=list(case_indices),
+                               corpus_digest=corpus_digest)
+        if config.verbose:
+            print(f"[study] shard {config.shard}: {len(cases)} of "
+                  f"{len(corpus)} cases")
+
+    # Streaming bounds memory by releasing each finished case's compiled
+    # variants — so a parallel run must also prime in bounded chunks, or
+    # _prime_engine would install the whole corpus's variant sets up front.
+    chunk_size = len(cases) or 1
+    if scheduler.parallel and config.checkpoint_every > 0:
+        chunk_size = config.checkpoint_every * scheduler.max_workers
 
     result = StudyResult(platforms=[p.name for p in platforms],
-                         seed=config.seed)
-    for case_index, case in enumerate(corpus):
-        if config.verbose:
-            print(f"[study] {case_index + 1}/{len(corpus)} {case.name}")
-        result.shaders.append(
-            _run_one(case, case_index, platforms, engine, config.seed))
+                         seed=config.seed, shard=shard_info)
+    position = 0
+    for start in range(0, len(cases), chunk_size):
+        chunk = cases[start:start + chunk_size]
+        chunk_indices = case_indices[start:start + chunk_size]
+        if scheduler.parallel:
+            _prime_engine(chunk, chunk_indices, platforms, engine, scheduler,
+                          config.seed, config.verbose)
+        for case, case_index in zip(chunk, chunk_indices):
+            position += 1
+            if config.verbose:
+                print(f"[study] {position}/{len(cases)} {case.name}")
+            result.shaders.append(
+                _run_one(case, case_index, platforms, engine, config.seed))
+            if config.checkpoint_every > 0:
+                engine.release_case(case.source)
+                if position % config.checkpoint_every == 0:
+                    engine.cache.save()
     engine.cache.save()
     return result
+
+
+def _corpus_digest(cases: Sequence[ShaderCase]) -> str:
+    """Content hash of the whole corpus, in order — the identity shard
+    merging checks so shards from different corpora cannot be combined."""
+    digest = hashlib.sha256()
+    for case in cases:
+        digest.update(source_digest(case.source).encode())
+    return digest.hexdigest()
 
 
 def _run_one(case: ShaderCase, case_index: int, platforms: List[Platform],
@@ -125,9 +243,15 @@ def _ordered_variants(variant_set: VariantSet):
 # ---------------------------------------------------------------------------
 
 
-def _prime_engine(corpus: Sequence[ShaderCase], platforms: List[Platform],
-                  engine: EvaluationEngine, scheduler: Scheduler, seed: int,
-                  verbose: bool) -> None:
+def _prime_engine(corpus: Sequence[ShaderCase], case_indices: Sequence[int],
+                  platforms: List[Platform], engine: EvaluationEngine,
+                  scheduler: Scheduler, seed: int, verbose: bool) -> None:
+    """Shard the CPU-bound work across the pool and land it in the cache.
+
+    ``case_indices`` carries each case's *global* corpus index — measurement
+    seeds are derived from it, which is what keeps shard runs byte-
+    compatible with the unsharded study.
+    """
     # Phase 1: one task per unique un-memoized source compiles all 256
     # combinations (the dominant cost: ~256 pass-pipeline runs each).
     sources: List[str] = []
@@ -154,7 +278,7 @@ def _prime_engine(corpus: Sequence[ShaderCase], platforms: List[Platform],
     # variant x platform) and the worker's shared JIT front-end memo parses
     # it once for all of the batch's platforms.
     units: List[WorkUnit] = []
-    for case_index, case in enumerate(corpus):
+    for case, case_index in zip(corpus, case_indices):
         variant_set = engine.variants_for(case)
         units.extend(
             WorkUnit(case_index=case_index, variant_id=-1,

@@ -19,6 +19,7 @@ _INT_DEFAULT = 1
 
 
 def default_scalar(kind: T.ScalarKind):
+    """The paper's default filler value for one scalar uniform element."""
     if kind == T.ScalarKind.FLOAT:
         return _FLOAT_DEFAULT
     if kind == T.ScalarKind.BOOL:

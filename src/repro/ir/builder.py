@@ -16,6 +16,7 @@ from repro.ir.values import Constant, Slot, Value
 
 
 class IRBuilder:
+    """Appends instructions to a function under construction, block by block."""
     def __init__(self, function: Function):
         self.function = function
         self.block: Optional[BasicBlock] = None

@@ -15,6 +15,7 @@ from repro.ir.module import BasicBlock, Function
 
 
 def reverse_postorder(function: Function) -> List[BasicBlock]:
+    """Blocks in reverse postorder (dataflow converges fastest in this order)."""
     visited: Set[BasicBlock] = set()
     order: List[BasicBlock] = []
 
@@ -87,6 +88,7 @@ def dominates(idom: Dict[BasicBlock, Optional[BasicBlock]],
 def dominance_frontiers(
     function: Function, idom: Dict[BasicBlock, Optional[BasicBlock]]
 ) -> Dict[BasicBlock, Set[BasicBlock]]:
+    """Per-block dominance frontiers (the classic phi-placement sets)."""
     frontiers: Dict[BasicBlock, Set[BasicBlock]] = {b: set() for b in function.blocks}
     preds = function.predecessors()
     for block in function.blocks:
@@ -179,6 +181,7 @@ def compute_postdominators(function: Function) -> Dict[BasicBlock, Optional[Basi
 
 @dataclass
 class NaturalLoop:
+    """A natural loop: header, back-edge latches, and member blocks."""
     header: BasicBlock
     latches: List[BasicBlock]
     blocks: Set[BasicBlock] = field(default_factory=set)

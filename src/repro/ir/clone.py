@@ -27,6 +27,7 @@ from repro.ir.values import Slot, Value
 
 
 def clone_module(module: Module, preserve_names: bool = False) -> Module:
+    """Deep-copy *module* without mutating it (see :func:`clone_function`)."""
     return Module(clone_function(module.function, preserve_names),
                   module.interface, module.version)
 
@@ -45,6 +46,9 @@ def _reachable_blocks(function: Function) -> set:
 
 def clone_function(function: Function,
                    preserve_names: bool = False) -> Function:
+    """Deep-copy *function*: fresh blocks/instructions with remapped operand
+    edges; ``preserve_names`` keeps SSA value names verbatim (the
+    compilation trie's requirement for byte-identical emission)."""
     new_fn = Function(function.name)
     block_map: Dict[BasicBlock, BasicBlock] = {}
     slot_map: Dict[Slot, Slot] = {}

@@ -65,6 +65,7 @@ class Instr(Value):
 
 
 class BinOp(Instr):
+    """Elementwise binary arithmetic (``add`` / ``sub`` / ``mul`` / ``div`` / ...)."""
     def __init__(self, op: str, lhs: Value, rhs: Value, ty: Optional[IRType] = None):
         if op not in BINOPS:
             raise IRError(f"invalid binary opcode {op!r}")
@@ -92,6 +93,7 @@ class BinOp(Instr):
 
 
 class Cmp(Instr):
+    """Elementwise comparison producing bools."""
     def __init__(self, op: str, lhs: Value, rhs: Value):
         if op not in CMPOPS:
             raise IRError(f"invalid compare opcode {op!r}")
@@ -110,6 +112,7 @@ class Cmp(Instr):
 
 
 class UnOp(Instr):
+    """Elementwise unary op."""
     def __init__(self, op: str, operand: Value):
         if op not in ("neg", "not"):
             raise IRError(f"invalid unary opcode {op!r}")
@@ -137,6 +140,7 @@ class Convert(Instr):
 
 
 class Select(Instr):
+    """Elementwise ``cond ? a : b``."""
     def __init__(self, cond: Value, if_true: Value, if_false: Value):
         super().__init__(if_true.ty, [cond, if_true, if_false])
 
@@ -156,6 +160,7 @@ class Select(Instr):
 
 
 class ExtractElem(Instr):
+    """Read one lane of a vector."""
     def __init__(self, vector: Value, index: int):
         super().__init__(vector.ty.scalar, [vector])
         self.index = index
@@ -168,6 +173,7 @@ class ExtractElem(Instr):
 
 
 class InsertElem(Instr):
+    """Replace one lane of a vector."""
     def __init__(self, vector: Value, scalar: Value, index: int):
         super().__init__(vector.ty, [vector, scalar])
         self.index = index
@@ -273,6 +279,7 @@ class LoadGlobal(Instr):
 
 
 class StoreOutput(Instr):
+    """Write a shader output (e.g. the fragment colour)."""
     has_side_effects = True
 
     def __init__(self, var: str, value: Value):
@@ -303,6 +310,7 @@ class LoadVar(Instr):
 
 
 class StoreVar(Instr):
+    """Store to a named slot (pre-mem2reg local)."""
     has_side_effects = True
 
     def __init__(self, slot: Slot, value: Value):
@@ -334,6 +342,7 @@ class LoadElem(Instr):
 
 
 class StoreElem(Instr):
+    """Store one element of an array slot."""
     has_side_effects = True
 
     def __init__(self, slot: Slot, index: Value, value: Value):
@@ -352,6 +361,7 @@ class StoreElem(Instr):
 
 
 class Phi(Instr):
+    """SSA phi node: one incoming value per predecessor."""
     def __init__(self, ty: IRType):
         super().__init__(ty, [])
         self.incoming: List[tuple] = []  # (BasicBlock, Value)
@@ -391,6 +401,7 @@ class Phi(Instr):
 
 
 class Terminator(Instr):
+    """Base class for block terminators."""
     is_terminator = True
     has_side_effects = True
 
@@ -399,6 +410,7 @@ class Terminator(Instr):
 
 
 class Br(Terminator):
+    """Unconditional branch."""
     def __init__(self, target: "BasicBlock"):
         super().__init__(BOOL, [])
         self.target = target
@@ -413,6 +425,7 @@ class Br(Terminator):
 
 
 class CondBr(Terminator):
+    """Two-way conditional branch."""
     def __init__(self, cond: Value, if_true: "BasicBlock", if_false: "BasicBlock"):
         super().__init__(BOOL, [cond])
         self.if_true = if_true
@@ -433,6 +446,7 @@ class CondBr(Terminator):
 
 
 class Ret(Terminator):
+    """Function return."""
     def __init__(self):
         super().__init__(BOOL, [])
 

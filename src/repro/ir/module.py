@@ -14,6 +14,7 @@ _block_counter = itertools.count()
 
 
 class BasicBlock:
+    """A straight-line instruction sequence ending in one terminator."""
     def __init__(self, name: Optional[str] = None):
         # Names are globally unique: dynamic profiles key on them.
         suffix = next(_block_counter)

@@ -20,6 +20,7 @@ _counter = itertools.count()
 
 
 def fresh_name(prefix: str = "v") -> str:
+    """A globally unique SSA value name with the given prefix."""
     return f"{prefix}{next(_counter)}"
 
 

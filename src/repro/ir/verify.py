@@ -138,4 +138,5 @@ def verify_function(function: Function) -> None:
 
 
 def verify_module(module) -> None:
+    """Verify the module's function (see :func:`verify_function`)."""
     verify_function(module.function)

@@ -18,6 +18,8 @@ from repro.passes.trees import insert_before, use_counts
 
 
 def coalesce(function: Function) -> int:
+    """Fuse insert-element chains into single vector constructs; returns the
+    number of chains rewritten."""
     changed = 0
     uses = use_counts(function)
     for block in function.blocks:

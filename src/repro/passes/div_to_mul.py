@@ -14,6 +14,8 @@ from repro.passes.trees import insert_before
 
 
 def div_to_mul(function: Function) -> int:
+    """Rewrite float division by a constant into multiplication by its
+    reciprocal; returns the number of rewrites."""
     changed = 0
     for block in function.blocks:
         for instr in list(block.instrs):

@@ -38,6 +38,8 @@ FLAG_LABELS = {
 
 @dataclass(frozen=True)
 class OptimizationFlags:
+    """An immutable set of the paper's eight flag bits — one point in the
+    256-combination space."""
     adce: bool = False
     coalesce: bool = False
     gvn: bool = False

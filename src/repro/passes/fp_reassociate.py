@@ -30,6 +30,9 @@ from repro.passes.trees import (
 
 
 def fp_reassociate(function: Function) -> int:
+    """Unsafe-math reassociation of float add/mul trees: canonical leaf
+    order, constant folding, common-factor extraction.  Returns the number
+    of rewrites."""
     changed = _identities(function)
     # Tree rewrites create new sub-trees (e.g. factoring a common multiplier
     # exposes an inner sum whose addends share weight constants), so iterate

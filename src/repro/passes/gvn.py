@@ -17,6 +17,9 @@ from repro.passes.keys import instr_key
 
 
 def gvn(function: Function) -> int:
+    """Dominator-tree global value numbering: replace dominated
+    recomputations with the dominating definition; returns the number of
+    replacements."""
     idom = compute_dominators(function)
     children: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in function.blocks}
     for block in function.blocks:

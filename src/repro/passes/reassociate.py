@@ -19,6 +19,8 @@ from repro.passes.trees import (
 
 
 def reassociate(function: Function) -> int:
+    """Safe reassociation: float identities plus integer add/mul tree
+    rewrites; returns the number of rewrites."""
     changed = 0
     changed += _float_identities(function)
     changed += _integer_trees(function)

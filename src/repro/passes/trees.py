@@ -18,6 +18,7 @@ SignedLeaf = Tuple[int, Value]  # (+1 | -1, value)
 
 
 def use_counts(function: Function) -> Dict[int, int]:
+    """Operand use counts by value id, for single-use tree flattening."""
     counts: Dict[int, int] = {}
     for instr in function.instructions():
         for operand in instr.operands:
@@ -47,6 +48,7 @@ def flatten_add_tree(root: BinOp, kind: str, uses: Dict[int, int]) -> List[Signe
 
 
 def flatten_mul_tree(root: BinOp, kind: str, uses: Dict[int, int]) -> List[Value]:
+    """The leaves of the single-use ``mul`` tree rooted at *root*."""
     leaves: List[Value] = []
 
     def walk(value: Value, is_root: bool) -> None:
@@ -122,6 +124,8 @@ def build_add_chain(root: BinOp, leaves: List[SignedLeaf],
 
 def build_mul_chain(root: BinOp, leaves: List[Value],
                     constant: Optional[Constant]) -> Value:
+    """Rebuild a left-to-right ``mul`` chain over *leaves*, folding
+    *constant* in last."""
     acc: Optional[Value] = None
     for value in leaves:
         if acc is None:

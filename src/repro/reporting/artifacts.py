@@ -20,6 +20,7 @@ from repro.analysis.speedups import (
     blanket_specs, loc_scatter_specs, overall_speedups_spec,
     per_shader_violin_specs, top_shaders_specs,
 )
+from repro.analysis.static_metrics import corpus_composition_spec
 from repro.analysis.uniqueness import uniqueness_specs
 from repro.harness.results import StudyResult
 from repro.passes import OptimizationFlags
@@ -124,6 +125,18 @@ def _best_flags(study: StudyResult) -> List[Spec]:
                 "of shader size.")
 def _loc_scatter(study: StudyResult) -> List[Spec]:
     return list(loc_scatter_specs(study))
+
+
+@register_artifact(
+    name="corpus-composition",
+    title="Corpus composition",
+    paper_ref="beyond paper (Sec. III corpus, repro.corpus.synth)",
+    description="What the study actually ran over: per-family case counts, "
+                "size range, and variant richness, with the hand-written "
+                "vs procedurally synthesized split — the provenance line "
+                "for scaled-out synth corpora.")
+def _corpus_composition(study: StudyResult) -> List[Spec]:
+    return [corpus_composition_spec(study)]
 
 
 @register_artifact(

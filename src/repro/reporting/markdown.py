@@ -19,6 +19,7 @@ def _escape_cell(text: str) -> str:
 
 
 def render_spec_markdown(spec: Spec) -> str:
+    """Render one figure spec as GitHub-flavoured Markdown."""
     if isinstance(spec, TableSpec):
         out: List[str] = []
         if spec.caption:

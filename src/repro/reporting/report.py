@@ -77,10 +77,12 @@ def all_artifacts() -> List[Artifact]:
 
 
 def artifact_names() -> List[str]:
+    """The registered artifact names, in registration (= paper) order."""
     return [artifact.name for artifact in all_artifacts()]
 
 
 def get_artifact(name: str) -> Artifact:
+    """The registered artifact named *name* (KeyError if unknown)."""
     _ensure_default_artifacts()
     try:
         return _REGISTRY[name]

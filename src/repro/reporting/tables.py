@@ -7,6 +7,7 @@ from typing import List, Sequence
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
                  title: str = "") -> str:
+    """Render rows as a fixed-width text table (the CLI's output format)."""
     cells = [[str(h) for h in headers]] + [[fmt_cell(c) for c in row] for row in rows]
     widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
 

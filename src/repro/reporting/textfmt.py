@@ -19,6 +19,7 @@ from repro.reporting.violin import render_violin_table
 
 
 def render_spec_text(spec: Spec) -> str:
+    """Render one figure spec as fixed-width text."""
     if isinstance(spec, TableSpec):
         return render_table(spec.headers, spec.rows, title=spec.caption)
     if isinstance(spec, ViolinSpec):

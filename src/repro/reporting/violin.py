@@ -30,6 +30,7 @@ def violin_summary(values: Sequence[float]) -> Dict[str, float]:
 
 def render_violin_table(named_values: Dict[str, Sequence[float]],
                         title: str = "") -> str:
+    """Render a ViolinSpec's distribution summaries as a text table."""
     headers = ["series", "mean", "min", "p25", "median", "p75", "max"]
     rows: List[List[object]] = []
     for name, values in named_values.items():

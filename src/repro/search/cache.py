@@ -5,10 +5,23 @@ cached entry is valid exactly as long as the shader text, the flag
 combination, the simulated platform, and the measurement seed are all
 unchanged — evaluation order, corpus position, and strategy never matter.
 
-The cache is a plain ``str -> dict`` map with an optional JSON file behind
-it, so repeated studies, ``tune`` runs, and benchmark invocations skip both
-recompilation and re-measurement.  The on-disk format is versioned; an
-incompatible or corrupt store is ignored rather than trusted.
+The cache is a plain ``str -> dict`` map with an optional file behind it,
+so repeated studies, ``tune`` runs, and benchmark invocations skip both
+recompilation and re-measurement.  Two on-disk formats:
+
+- ``*.json`` (default): one versioned JSON blob, rewritten atomically by
+  :meth:`ResultCache.save`.
+- ``*.jsonl``: an append-only streaming store — every new entry is written
+  as one JSON line the moment it is ``put``, so a long sharded study
+  checkpoints incrementally instead of rewriting an ever-growing blob, and
+  a killed run keeps everything it had already measured (a torn final line
+  is tolerated on load).
+
+Either format is versioned; an incompatible or corrupt store is ignored
+rather than trusted.  :meth:`ResultCache.merge_from` unions another store
+into this one (the ``repro merge-results`` cache path), rejecting
+conflicting values for the same key — with content-addressed keys and
+deterministic measurement, a conflict can only mean corruption.
 """
 
 from __future__ import annotations
@@ -19,7 +32,7 @@ import os
 import tempfile
 from functools import lru_cache
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, IO, Optional, Union
 
 #: Bump when the cached payload layout or the key recipe changes.
 #: (Compiled variant sets are additive "variants:<digest>" entries, so
@@ -48,7 +61,12 @@ def make_key(source: str, flag_index: int, platform: str, seed: int) -> str:
 
 
 class ResultCache:
-    """In-memory evaluation cache with an optional on-disk JSON store."""
+    """In-memory evaluation cache with an optional on-disk store.
+
+    A ``*.jsonl`` path selects the append-only streaming store (entries hit
+    disk as they are ``put``); any other path is the one-blob JSON store
+    rewritten by :meth:`save`.
+    """
 
     def __init__(self, path: Optional[Union[str, Path]] = None):
         self.path = Path(path) if path else None
@@ -59,6 +77,12 @@ class ResultCache:
         #: ``save()`` is a no-op otherwise, so a fully warm study/report
         #: replay never rewrites the (potentially large) JSON store.
         self._dirty = False
+        self._streaming = (self.path is not None
+                           and self.path.suffix == ".jsonl")
+        self._stream_handle: Optional[IO[str]] = None
+        #: set when the existing stream file is unusable (version skew,
+        #: corrupt header): the first append truncates instead of appending.
+        self._stream_rewrite = False
         if self.path is not None:
             self._load()
 
@@ -69,6 +93,7 @@ class ResultCache:
         return key in self._entries
 
     def get(self, key: str) -> Optional[dict]:
+        """The entry for *key*, metering the hit/miss counters."""
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
@@ -77,9 +102,13 @@ class ResultCache:
         return entry
 
     def put(self, key: str, value: dict) -> None:
+        """Store *value* under *key* (streaming stores append immediately)."""
         if self._entries.get(key) != value:
             self._entries[key] = value
-            self._dirty = True
+            if self._streaming:
+                self._append_line({"k": key, "v": value})
+            else:
+                self._dirty = True
 
     # ------------------------------------------------------------------
     # Compiled variant sets
@@ -127,7 +156,20 @@ class ResultCache:
         entry = {"texts": texts, "combos": combos}
         if self._entries.get(self.variants_key(digest)) != entry:
             self._entries[self.variants_key(digest)] = entry
-            self._dirty = True
+            if self._streaming:
+                self._append_line({"k": self.variants_key(digest), "v": entry})
+            else:
+                self._dirty = True
+
+    def release_variants(self, digest: str) -> None:
+        """Evict a variants entry from memory once it is safely on disk.
+
+        Only streaming stores evict (their entries were appended at ``put``
+        time); for blob stores and memory-only caches this is a no-op, since
+        evicting could drop data ``save()`` has not persisted yet.
+        """
+        if self._streaming:
+            self._entries.pop(self.variants_key(digest), None)
 
     # ------------------------------------------------------------------
     # Disk store
@@ -135,6 +177,9 @@ class ResultCache:
 
     def _load(self) -> None:
         if self.path is None or not self.path.exists():
+            return
+        if self._streaming:
+            self._load_stream()
             return
         try:
             payload = json.loads(self.path.read_text())
@@ -148,9 +193,87 @@ class ResultCache:
         if isinstance(entries, dict):
             self._entries.update(entries)
 
+    def _load_stream(self) -> None:
+        """Replay a ``.jsonl`` store: a version header line, then one
+        ``{"k":…,"v":…}`` record per line.  A torn final line (killed run)
+        is ignored; a wrong-version or unparsable header discards the file
+        (it is rewritten on the next append)."""
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError:
+            return
+        if not lines:
+            return
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            header = None
+        if not isinstance(header, dict) or header.get("version") != CACHE_VERSION:
+            self._stream_rewrite = True
+            return
+        for line in lines[1:]:
+            try:
+                record = json.loads(line)
+                self._entries[record["k"]] = record["v"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                continue        # torn tail from a killed writer
+
+    def _append_line(self, record: dict) -> None:
+        if self.path is None:
+            return
+        if self._stream_handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fresh = (self._stream_rewrite or not self.path.exists()
+                     or self.path.stat().st_size == 0)
+            torn_tail = False
+            if not fresh:
+                # A killed writer can leave a torn final line with no
+                # newline; appending straight after it would corrupt the
+                # next record too.  Terminate the fragment first (the torn
+                # line itself is already ignored by _load_stream).
+                with open(self.path, "rb") as existing:
+                    existing.seek(-1, os.SEEK_END)
+                    torn_tail = existing.read(1) != b"\n"
+            # Line-buffered: every record hits the OS the moment it is
+            # written, so a killed run loses at most the line being torn.
+            self._stream_handle = open(
+                self.path, "w" if self._stream_rewrite else "a", buffering=1)
+            self._stream_rewrite = False
+            if torn_tail:
+                self._stream_handle.write("\n")
+            if fresh:
+                self._stream_handle.write(
+                    json.dumps({"version": CACHE_VERSION}) + "\n")
+        self._stream_handle.write(json.dumps(record) + "\n")
+
+    def merge_from(self, other: Union["ResultCache", str, Path]) -> int:
+        """Union *other*'s entries into this store; returns how many were new.
+
+        Conflicting values for the same key raise ``ValueError``: keys are
+        content-addressed and measurement is deterministic, so two shard
+        caches can only disagree through corruption or a version skew.
+        """
+        if not isinstance(other, ResultCache):
+            other = ResultCache(other)
+        added = 0
+        for key, value in other._entries.items():
+            mine = self._entries.get(key)
+            if mine is None:
+                added += 1
+            elif mine != value:
+                raise ValueError(
+                    f"cache merge conflict on key {key!r}: stores disagree")
+            self.put(key, value)
+        return added
+
     def save(self) -> None:
-        """Atomically persist the store (no-op for memory-only caches and
-        when nothing changed since the last load/save)."""
+        """Persist the store: flush for streaming stores; an atomic rewrite
+        for blob stores (no-op for memory-only caches and when nothing
+        changed since the last load/save)."""
+        if self._streaming:
+            if self._stream_handle is not None:
+                self._stream_handle.flush()
+            return
         if self.path is None or not self._dirty:
             return
         payload = {"version": CACHE_VERSION, "entries": self._entries}

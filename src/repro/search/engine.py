@@ -151,6 +151,24 @@ class EvaluationEngine:
             self.cache.put_variants(digest, variant_set.index_to_text)
         return variant_set
 
+    def release_case(self, source: str) -> None:
+        """Drop the in-process compiled memos for *source* (streaming mode).
+
+        The result cache keeps the compiled variant set (streaming stores
+        have already appended it to disk), so a later request for the same
+        source falls back to the cache and, failing that, recompiles —
+        correctness is unaffected, only memory residency.  The study's
+        streaming path calls this per finished case so a huge synth corpus
+        holds one case's 256 variant texts in memory, not all of them.
+        """
+        digest = source_digest(source)
+        self._compilers.pop(digest, None)
+        variant_set = self._variant_sets.pop(digest, None)
+        if variant_set is not None:
+            for index in variant_set.index_to_text:
+                self._texts.pop((digest, index), None)
+        self.cache.release_variants(digest)
+
     def text_for(self, source: str, flags: FlagsLike) -> str:
         """Emitted text of *source* under *flags* (memoized per flag index)."""
         flags = self._coerce_flags(flags)

@@ -238,6 +238,7 @@ STRATEGIES = {
 
 
 def make_strategy(name: str, seed: int = 2018, **kwargs) -> SearchStrategy:
+    """Instantiate the registered strategy *name* (ValueError if unknown)."""
     try:
         cls = STRATEGIES[name]
     except KeyError:

@@ -1,0 +1,284 @@
+"""Sharded studies, the merge path, and the streaming result cache."""
+
+import json
+
+import pytest
+
+from repro.corpus import default_corpus
+from repro.gpu.vendors import INTEL, NVIDIA
+from repro.harness.results import (
+    ShardInfo, StudyResult, merge_study_results,
+)
+from repro.harness.study import ShardSpec, StudyConfig, run_study
+from repro.search.cache import ResultCache
+
+
+def _corpus():
+    return default_corpus(families=["sprite", "fog", "flat"],
+                          synth_seed=3, synth_count=2)
+
+
+# ---------------------------------------------------------------------------
+# ShardSpec
+# ---------------------------------------------------------------------------
+
+
+def test_shard_spec_parse_and_select():
+    spec = ShardSpec.parse("2/3")
+    assert (spec.index, spec.count) == (2, 3)
+    assert spec.select(8) == [1, 4, 7]
+    assert str(spec) == "2/3"
+    covered = sorted(i for n in (1, 2, 3)
+                     for i in ShardSpec(n, 3).select(10))
+    assert covered == list(range(10))
+
+
+@pytest.mark.parametrize("bad", ["", "3", "0/3", "4/3", "a/b", "1/0", "1/-2"])
+def test_shard_spec_rejects_malformed(bad):
+    with pytest.raises(ValueError):
+        ShardSpec.parse(bad)
+
+
+def test_shard_spec_range_errors_are_precise():
+    """Well-formed but out-of-range specs get the range message, not the
+    format one."""
+    with pytest.raises(ValueError, match="shard index must be in 1..3"):
+        ShardSpec.parse("0/3")
+    with pytest.raises(ValueError, match="must look like 'I/N'"):
+        ShardSpec.parse("one/3")
+
+
+# ---------------------------------------------------------------------------
+# Shard determinism: the acceptance criterion
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def whole_study():
+    return run_study(_corpus(), StudyConfig(platforms=[INTEL, NVIDIA], seed=9))
+
+
+def test_three_shard_merge_is_byte_identical(whole_study):
+    parts = []
+    for i in (1, 2, 3):
+        part = run_study(_corpus(), StudyConfig(
+            platforms=[INTEL, NVIDIA], seed=9, shard=ShardSpec(i, 3)))
+        assert part.shard is not None
+        # Round-trip through JSON, exactly as the CLI hands shards around.
+        parts.append(StudyResult.from_json(part.to_json()))
+    merged = merge_study_results(parts)
+    assert merged.to_json() == whole_study.to_json()
+
+
+def test_shard_json_roundtrips_shard_info(whole_study):
+    part = run_study(_corpus(), StudyConfig(
+        platforms=[INTEL], seed=9, shard=ShardSpec(2, 3)))
+    back = StudyResult.from_json(part.to_json())
+    assert back.shard == part.shard
+    assert back.shard.case_indices == ShardSpec(2, 3).select(len(_corpus()))
+    # Unsharded results must serialize without a shard key at all.
+    assert "shard" not in json.loads(whole_study.to_json())
+
+
+def test_merge_rejects_incomplete_and_mismatched_shards(whole_study):
+    p1 = run_study(_corpus(), StudyConfig(
+        platforms=[INTEL], seed=9, shard=ShardSpec(1, 3)))
+    p2 = run_study(_corpus(), StudyConfig(
+        platforms=[INTEL], seed=9, shard=ShardSpec(2, 3)))
+    with pytest.raises(ValueError, match="all 3 shards"):
+        merge_study_results([p1, p2])
+    with pytest.raises(ValueError, match="duplicate shard"):
+        merge_study_results([p1, p1])
+    with pytest.raises(ValueError, match="no shard metadata"):
+        merge_study_results([whole_study])
+    p2_other_seed = run_study(_corpus(), StudyConfig(
+        platforms=[INTEL], seed=10, shard=ShardSpec(2, 3)))
+    with pytest.raises(ValueError, match="seeds differ"):
+        merge_study_results([p1, p2_other_seed])
+    with pytest.raises(ValueError):
+        merge_study_results([])
+
+
+def test_merge_rejects_shards_from_different_corpora():
+    """Two shards over different --synth-seed corpora share names and
+    indices but not content; the corpus digest must catch it."""
+    picked = ["flat", "synth_00000", "synth_00001"]
+    corpus_a = default_corpus(families=picked, synth_seed=1, synth_count=2)
+    corpus_b = default_corpus(families=picked, synth_seed=99, synth_count=2)
+    p1 = run_study(corpus_a, StudyConfig(
+        platforms=[INTEL], seed=9, shard=ShardSpec(1, 2)))
+    p2 = run_study(corpus_b, StudyConfig(
+        platforms=[INTEL], seed=9, shard=ShardSpec(2, 2)))
+    with pytest.raises(ValueError, match="different corpora"):
+        merge_study_results([p1, p2])
+
+
+def test_shard_info_validate():
+    with pytest.raises(ValueError):
+        ShardInfo(index=4, count=3, case_indices=[]).validate(0)
+    with pytest.raises(ValueError):
+        ShardInfo(index=1, count=3, case_indices=[0, 3]).validate(5)
+
+
+# ---------------------------------------------------------------------------
+# Streaming (.jsonl) cache
+# ---------------------------------------------------------------------------
+
+
+def test_jsonl_cache_appends_incrementally(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    cache = ResultCache(path)
+    cache.put("k1", {"mean_ns": 1.0})
+    cache.save()
+    first = path.read_text().splitlines()
+    assert json.loads(first[0])["version"] >= 1
+    assert len(first) == 2          # header + one record, already on disk
+    cache.put("k2", {"mean_ns": 2.0})
+    cache.save()
+    assert len(path.read_text().splitlines()) == 3
+    reloaded = ResultCache(path)
+    assert reloaded.get("k1") == {"mean_ns": 1.0}
+    assert reloaded.get("k2") == {"mean_ns": 2.0}
+
+
+def test_jsonl_cache_tolerates_torn_tail(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    cache = ResultCache(path)
+    cache.put("k1", {"mean_ns": 1.0})
+    cache.save()
+    with open(path, "a") as handle:
+        handle.write('{"k": "k2", "v": {"mean_ns"')     # killed mid-write
+    reloaded = ResultCache(path)
+    assert reloaded.get("k1") == {"mean_ns": 1.0}
+    assert reloaded.get("k2") is None
+
+
+def test_jsonl_cache_appends_safely_after_torn_tail(tmp_path):
+    """A resumed writer must not glue its first record onto the torn
+    fragment — that would silently lose the new record on every reload."""
+    path = tmp_path / "cache.jsonl"
+    cache = ResultCache(path)
+    cache.put("k1", {"mean_ns": 1.0})
+    cache.save()
+    with open(path, "a") as handle:
+        handle.write('{"k": "k2", "v": {"mean_ns"')     # killed mid-write
+    resumed = ResultCache(path)
+    resumed.put("k3", {"mean_ns": 3.0})
+    resumed.save()
+    reloaded = ResultCache(path)
+    assert reloaded.get("k1") == {"mean_ns": 1.0}
+    assert reloaded.get("k3") == {"mean_ns": 3.0}
+
+
+def test_jsonl_cache_discards_wrong_version(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    path.write_text('{"version": 999}\n{"k": "k1", "v": {"mean_ns": 1.0}}\n')
+    cache = ResultCache(path)
+    assert len(cache) == 0
+    cache.put("k2", {"mean_ns": 2.0})
+    cache.save()
+    lines = path.read_text().splitlines()
+    assert json.loads(lines[0])["version"] != 999       # rewritten, not appended
+    assert ResultCache(path).get("k1") is None
+
+
+def test_jsonl_cache_persists_variant_sets(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    cache = ResultCache(path)
+    cache.put_variants("digest", {0: "a", 1: "a", 2: "b"})
+    cache.release_variants("digest")                    # evicted from memory…
+    assert cache.get_variants("digest") is None
+    reloaded = ResultCache(path)                        # …but on disk
+    assert reloaded.get_variants("digest") == {0: "a", 1: "a", 2: "b"}
+
+
+def test_cache_merge_from_unions_and_detects_conflicts(tmp_path):
+    a = ResultCache(tmp_path / "a.jsonl")
+    a.put("k1", {"mean_ns": 1.0})
+    a.save()
+    b = ResultCache(tmp_path / "b.json")
+    b.put("k1", {"mean_ns": 1.0})
+    b.put("k2", {"mean_ns": 2.0})
+    b.save()
+    merged = ResultCache(tmp_path / "m.json")
+    assert merged.merge_from(tmp_path / "a.jsonl") == 1
+    assert merged.merge_from(tmp_path / "b.json") == 1  # k1 already present
+    assert len(merged) == 2
+    conflicting = ResultCache()
+    conflicting.put("k1", {"mean_ns": 999.0})
+    with pytest.raises(ValueError, match="conflict"):
+        merged.merge_from(conflicting)
+
+
+# ---------------------------------------------------------------------------
+# Streaming study: checkpoints, memo release, warm replay
+# ---------------------------------------------------------------------------
+
+
+def test_streaming_study_checkpoints_and_replays(tmp_path):
+    path = tmp_path / "stream.jsonl"
+    corpus = _corpus()
+    from repro.search.engine import EvaluationEngine
+    engine = EvaluationEngine(platforms=[INTEL], seed=9, cache=ResultCache(path))
+    cold = run_study(corpus, StudyConfig(platforms=[INTEL], seed=9,
+                                         checkpoint_every=2),
+                     engine=engine)
+    # Per-case release keeps the engine's compiled memos empty.
+    assert engine._variant_sets == {}
+    assert engine._texts == {}
+    assert engine.compile_count == 256 * len(corpus)
+
+    warm_engine = EvaluationEngine(platforms=[INTEL], seed=9,
+                                   cache=ResultCache(path))
+    warm = run_study(corpus, StudyConfig(platforms=[INTEL], seed=9),
+                     engine=warm_engine)
+    assert warm.to_json() == cold.to_json()
+    assert warm_engine.compile_count == 0
+    assert warm_engine.measure_count == 0
+
+
+def test_parallel_streaming_primes_in_chunks(tmp_path, monkeypatch):
+    """Parallel + checkpoint_every primes bounded chunks (byte-identical
+    results, memos released), instead of installing the whole corpus's
+    variant sets up front."""
+    import repro.harness.study as study_mod
+    from repro.search.engine import EvaluationEngine
+
+    corpus = _corpus()
+    serial = run_study(corpus, StudyConfig(platforms=[INTEL], seed=9))
+
+    prime_sizes = []
+    real_prime = study_mod._prime_engine
+
+    def spying_prime(cases, indices, *rest):
+        prime_sizes.append(len(cases))
+        return real_prime(cases, indices, *rest)
+
+    monkeypatch.setattr(study_mod, "_prime_engine", spying_prime)
+    engine = EvaluationEngine(platforms=[INTEL], seed=9,
+                              cache=ResultCache(tmp_path / "s.jsonl"))
+    parallel = run_study(corpus, StudyConfig(
+        platforms=[INTEL], seed=9, max_workers=2, checkpoint_every=1),
+        engine=engine)
+    assert parallel.to_json() == serial.to_json()
+    assert prime_sizes and max(prime_sizes) <= 2   # checkpoint_every x workers
+    assert engine._variant_sets == {}              # released as cases finish
+
+
+def test_sharded_streaming_caches_merge_warm(tmp_path):
+    """Shard caches merged into one store replay the whole study for free."""
+    corpus = _corpus()
+    from repro.search.engine import EvaluationEngine
+    for i in (1, 2, 3):
+        run_study(corpus, StudyConfig(
+            platforms=[INTEL], seed=9, shard=ShardSpec(i, 3),
+            cache_path=str(tmp_path / f"s{i}.jsonl"), checkpoint_every=1))
+    merged = ResultCache(tmp_path / "merged.json")
+    for i in (1, 2, 3):
+        merged.merge_from(tmp_path / f"s{i}.jsonl")
+    merged.save()
+    engine = EvaluationEngine(platforms=[INTEL], seed=9,
+                              cache=ResultCache(tmp_path / "merged.json"))
+    run_study(corpus, StudyConfig(platforms=[INTEL], seed=9), engine=engine)
+    assert engine.compile_count == 0
+    assert engine.measure_count == 0

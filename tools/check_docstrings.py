@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Enforce docstrings on the public surface of ``src/repro/``.
+
+Every public module and every public module-level function and class (name
+not starting with ``_``) must carry a docstring.  Methods are not yet
+enforced — tighten ``CHECK_METHODS`` once the backlog is documented.  The
+docs tree (``docs/corpus.md`` in particular) leans on docstrings as the API
+reference of record, so CI runs this next to the link checker in the docs
+job.
+
+Exits non-zero listing every violation as ``path:line: message``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, Tuple
+
+Violation = Tuple[Path, int, str]
+
+#: Flip to also require docstrings on public methods of public classes.
+CHECK_METHODS = False
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _check_body(body, path: Path, owner: str) -> Iterator[Violation]:
+    """Yield violations for the defs/classes directly inside *body*."""
+    for node in body:
+        if isinstance(node, ast.ClassDef):
+            if not _is_public(node.name):
+                continue
+            label = f"{owner}{node.name}"
+            if ast.get_docstring(node) is None:
+                yield path, node.lineno, f"class {label} lacks a docstring"
+            if CHECK_METHODS:
+                yield from _check_body(node.body, path, f"{label}.")
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not _is_public(node.name):
+                continue
+            if owner and not CHECK_METHODS:
+                continue
+            if ast.get_docstring(node) is None:
+                yield (path, node.lineno,
+                       f"def {owner}{node.name} lacks a docstring")
+            # Nested defs are implementation detail: not checked.
+
+
+def check_file(path: Path) -> Iterator[Violation]:
+    """Yield every public-surface docstring violation in one source file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    if _is_public(path.stem) and ast.get_docstring(tree) is None:
+        yield path, 1, "module lacks a docstring"
+    yield from _check_body(tree.body, path, "")
+
+
+def main() -> int:
+    """Check every module under src/repro; print violations, return 1 if any."""
+    root = Path(__file__).resolve().parent.parent
+    package = root / "src" / "repro"
+    violations = []
+    checked = 0
+    for path in sorted(package.rglob("*.py")):
+        checked += 1
+        violations.extend(check_file(path))
+    if violations:
+        print("missing docstrings on the public surface:", file=sys.stderr)
+        for path, line, message in violations:
+            print(f"  {path.relative_to(root)}:{line}: {message}",
+                  file=sys.stderr)
+        print(f"{len(violations)} violations in {checked} modules",
+              file=sys.stderr)
+        return 1
+    print(f"checked {checked} modules: public surface fully documented")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
