@@ -14,6 +14,11 @@ Commands mirror the paper's workflow:
 - ``merge-results`` — reassemble ``--shard`` study runs (and their caches)
                   into one complete study, byte-identical to an unsharded
                   run.
+- ``serve``     — run the long-running study service: a job queue, a worker
+                  pool, and one process-wide warm result cache shared across
+                  every submitted job (see ``docs/service.md``).
+- ``client``    — submit/status/tail/cancel/shutdown against a running
+                  ``repro serve`` daemon, over its local socket.
 
 ``study``, ``tune``, and ``report`` all accept ``--synth-seed`` /
 ``--synth-count`` to extend the corpus with procedurally synthesized
@@ -31,7 +36,7 @@ from typing import List, Optional
 from repro.analysis.flags import best_static_flags
 from repro.analysis.speedups import average_speedups
 from repro.core import ShaderCompiler, optimize_source
-from repro.corpus import default_corpus
+from repro.corpus import CorpusSpec
 from repro.gpu.platform import all_platforms, platform_by_name
 from repro.harness.environment import ShaderExecutionEnvironment
 from repro.harness.results import StudyResult, merge_study_results
@@ -105,11 +110,22 @@ def _cmd_time(args: argparse.Namespace) -> int:
     return 0
 
 
+def corpus_spec_from_args(args: argparse.Namespace) -> CorpusSpec:
+    """The :class:`CorpusSpec` behind the shared corpus-selection flags.
+
+    ``study``/``tune``/``report`` *and* ``client submit`` all funnel their
+    ``--max-shaders``/``--synth-seed``/``--synth-count`` flags through this
+    one helper, so the CLI surface and the service's :class:`JobSpec`
+    cannot drift apart: both build the corpus via ``CorpusSpec.build()``.
+    """
+    return CorpusSpec(max_shaders=args.max_shaders or None,
+                      synth_seed=args.synth_seed,
+                      synth_count=args.synth_count)
+
+
 def _synth_corpus(args: argparse.Namespace):
     """The corpus selected by the shared --max-shaders/--synth-* flags."""
-    return default_corpus(max_shaders=args.max_shaders or None,
-                          synth_seed=args.synth_seed,
-                          synth_count=args.synth_count)
+    return corpus_spec_from_args(args).build()
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
@@ -293,6 +309,184 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# The study service: `repro serve` + the `repro client` command group
+# ---------------------------------------------------------------------------
+
+#: Default service directory; the socket lives at <dir>/service.sock.
+DEFAULT_SERVICE_DIR = ".repro-service"
+
+
+def _default_socket() -> str:
+    import os
+    return os.path.join(DEFAULT_SERVICE_DIR, "service.sock")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import StudyService, socket_available
+
+    if not socket_available():
+        raise SystemExit("error: repro serve needs AF_UNIX socket support")
+    service = StudyService(args.dir, workers=args.workers,
+                           socket_path=args.socket or None,
+                           cache_path=args.cache or None,
+                           job_workers=args.job_workers)
+    service.start()
+    print(f"repro serve: listening on {service.socket_path}")
+    print(f"  journal: {service.journal.path} "
+          f"({service.recovered_jobs} jobs recovered)")
+    print(f"  cache:   {service.cache.path} "
+          f"({len(service.cache)} warm entries)")
+    print(f"  workers: {service.pool.workers} "
+          f"(x{service.runner.job_workers} job processes); stop with "
+          f"`repro client shutdown` or ctrl-c")
+    try:
+        service.wait()
+    except KeyboardInterrupt:
+        print("\nrepro serve: interrupted, finishing in-flight jobs")
+    finally:
+        service.stop()
+    print("repro serve: stopped (pending jobs remain journalled)")
+    return 0
+
+
+def _client(args: argparse.Namespace):
+    from repro.service import ServiceClient
+
+    return ServiceClient(args.socket)
+
+
+def _client_request(fn):
+    """Run one client call, mapping connection/service errors to exit 1."""
+    from repro.service import ServiceError
+
+    try:
+        return fn()
+    except (ConnectionError, ServiceError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+
+def _client_job_spec(args: argparse.Namespace):
+    """Build the JobSpec a `repro client submit` invocation describes."""
+    from repro.service import JobSpec
+
+    source = None
+    corpus = None
+    if args.file:
+        source = (sys.stdin.read() if args.file == "-"
+                  else open(args.file).read())
+    else:
+        corpus = corpus_spec_from_args(args)
+    platforms = () if args.platform == "all" else (args.platform,)
+    spec = JobSpec(source=source, corpus=corpus, strategy=args.strategy,
+                   budget=args.budget, platforms=platforms, seed=args.seed,
+                   timeout=args.timeout)
+    try:
+        spec.validate()
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    return spec
+
+
+def _print_event(event: dict) -> None:
+    kind = event.get("type")
+    if kind == "case":
+        best = ", ".join(f"{name} {pct:+.1f}%"
+                         for name, pct in sorted(event["best_pct"].items()))
+        print(f"[{event['position']}/{event['total']}] {event['name']}: "
+              f"{event['variants']} variants; best {best}")
+    elif kind == "platform":
+        print(f"[{event['platform']}] best {event['best_flags']} "
+              f"-> {event['best_pct']:+.2f}% "
+              f"({event['evaluated']} points evaluated)")
+    elif kind == "state":
+        suffix = f": {event['error']}" if event.get("error") else ""
+        work = event.get("work") or {}
+        print(f"job {event['state']}{suffix} "
+              f"(work: {work.get('frontends', 0)} front-ends, "
+              f"{work.get('compiles', 0)} compiles, "
+              f"{work.get('measures', 0)} measures, "
+              f"{work.get('cache_hits', 0)} cache hits)")
+    else:
+        import json
+        print(json.dumps(event))
+
+
+def _follow_job(client, job_id: str, since: int = 0) -> int:
+    from repro.service import ServiceError
+
+    final_state = None
+    try:
+        # Stream: print each event the moment the poll returns it.
+        for event in client.follow(job_id, since=since):
+            _print_event(event)
+            if event.get("type") == "state":
+                final_state = event.get("state")
+    except (ConnectionError, ServiceError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+    return 0 if final_state == "done" else 1
+
+
+def _cmd_client_submit(args: argparse.Namespace) -> int:
+    spec = _client_job_spec(args)
+    client = _client(args)
+    response = _client_request(lambda: client.submit(spec))
+    print(f"submitted {response['id']} (digest {response['digest'][:12]}, "
+          f"queue position {response['position']})")
+    if args.wait:
+        return _follow_job(client, response["id"])
+    print(f"follow with: repro client tail {response['id']}")
+    return 0
+
+
+def _cmd_client_status(args: argparse.Namespace) -> int:
+    import json
+
+    response = _client_request(
+        lambda: _client(args).status(args.id or None))
+    if args.id:
+        print(json.dumps(response["job"], indent=2))
+        return 0
+    rows = [(job["id"], job["strategy"], job["state"],
+             job["events"], job["error"] or "-")
+            for job in response["jobs"]]
+    print(render_table(["job", "strategy", "state", "events", "error"],
+                       rows, title=f"{len(rows)} jobs"))
+    return 0
+
+
+def _cmd_client_tail(args: argparse.Namespace) -> int:
+    return _follow_job(_client(args), args.id, since=args.since)
+
+
+def _cmd_client_cancel(args: argparse.Namespace) -> int:
+    response = _client_request(lambda: _client(args).cancel(args.id))
+    note = f" ({response['note']})" if response.get("note") else ""
+    print(f"{response['id']}: {response['state']}{note}")
+    return 0
+
+
+def _cmd_client_stats(args: argparse.Namespace) -> int:
+    import json
+
+    response = _client_request(lambda: _client(args).stats())
+    response.pop("ok", None)
+    print(json.dumps(response, indent=2))
+    return 0
+
+
+def _cmd_client_ping(args: argparse.Namespace) -> int:
+    response = _client_request(lambda: _client(args).ping())
+    print(f"ok: {response['service']} (pid {response['pid']})")
+    return 0
+
+
+def _cmd_client_shutdown(args: argparse.Namespace) -> int:
+    response = _client_request(lambda: _client(args).shutdown())
+    print(f"stopping ({response['pending']} pending jobs stay journalled)")
+    return 0
+
+
 def _add_corpus_args(p: argparse.ArgumentParser) -> None:
     """The corpus-selection flags shared by study/tune/report."""
     p.add_argument("--max-shaders", type=int, default=0,
@@ -404,6 +598,87 @@ def build_parser() -> argparse.ArgumentParser:
                         "cache re-renders with zero compiles/measurements")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the long-running study service (queue + worker pool + "
+             "process-wide warm cache)")
+    p.add_argument("--dir", default=DEFAULT_SERVICE_DIR,
+                   help="service state directory: journal, cache, results, "
+                        f"socket (default: {DEFAULT_SERVICE_DIR})")
+    p.add_argument("--socket", default="",
+                   help="socket path (default: <dir>/service.sock)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="concurrent jobs (worker threads sharing one warm "
+                        "engine; default: 1)")
+    p.add_argument("--job-workers", type=int, default=1,
+                   help="process-pool size each study job may use "
+                        "internally (default: serial)")
+    p.add_argument("--cache", default="",
+                   help="shared result cache path (default: "
+                        "<dir>/cache.jsonl, the streaming store)")
+    p.set_defaults(fn=_cmd_serve)
+
+    client = sub.add_parser(
+        "client", help="talk to a running `repro serve` daemon")
+    csub = client.add_subparsers(dest="client_command", required=True)
+
+    def _socket_arg(cp: argparse.ArgumentParser) -> None:
+        cp.add_argument("--socket", default=_default_socket(),
+                        help="daemon socket path (default: "
+                             f"{_default_socket()})")
+
+    cp = csub.add_parser("submit", help="submit a study/tune job")
+    cp.add_argument("file", nargs="?", default="",
+                    help="fragment shader path or - for stdin (omit to "
+                         "submit a corpus job)")
+    _add_corpus_args(cp)
+    cp.add_argument("--strategy", default="study",
+                    choices=["study"] + sorted(STRATEGIES),
+                    help="'study' = the exhaustive per-variant study; "
+                         "anything else = a budgeted flag-space search")
+    cp.add_argument("--budget", type=int, default=64,
+                    help="evaluation budget for search strategies")
+    cp.add_argument("--platform", default="all",
+                    help="Intel|AMD|NVIDIA|ARM|Qualcomm|all")
+    cp.add_argument("--seed", type=int, default=2018)
+    cp.add_argument("--timeout", type=float, default=None,
+                    help="per-job wall-clock limit in seconds; a job over "
+                         "its deadline fails instead of wedging a worker")
+    cp.add_argument("--wait", action="store_true",
+                    help="follow the job's events until it finishes")
+    _socket_arg(cp)
+    cp.set_defaults(fn=_cmd_client_submit)
+
+    cp = csub.add_parser("status", help="one job's status, or all jobs")
+    cp.add_argument("id", nargs="?", default="")
+    _socket_arg(cp)
+    cp.set_defaults(fn=_cmd_client_status)
+
+    cp = csub.add_parser(
+        "tail", help="follow a job's results as they land")
+    cp.add_argument("id")
+    cp.add_argument("--since", type=int, default=0,
+                    help="resume from this event index")
+    _socket_arg(cp)
+    cp.set_defaults(fn=_cmd_client_tail)
+
+    cp = csub.add_parser("cancel", help="cancel a pending or running job")
+    cp.add_argument("id")
+    _socket_arg(cp)
+    cp.set_defaults(fn=_cmd_client_cancel)
+
+    cp = csub.add_parser("stats", help="service-wide queue/cache stats")
+    _socket_arg(cp)
+    cp.set_defaults(fn=_cmd_client_stats)
+
+    cp = csub.add_parser("ping", help="liveness check")
+    _socket_arg(cp)
+    cp.set_defaults(fn=_cmd_client_ping)
+
+    cp = csub.add_parser("shutdown", help="stop the daemon gracefully")
+    _socket_arg(cp)
+    cp.set_defaults(fn=_cmd_client_shutdown)
     return parser
 
 

@@ -14,9 +14,11 @@ composition (``default_corpus(synth_seed=…, synth_count=…)``), and the
 corpus stream is lazy — see ``docs/corpus.md`` for the authoring guide.
 """
 
-from repro.corpus.generator import corpus_families, default_corpus, iter_corpus
+from repro.corpus.generator import (
+    CorpusSpec, corpus_families, default_corpus, iter_corpus,
+)
 from repro.corpus.motivating import MOTIVATING_SHADER
 from repro.corpus.synth import synth_families, synth_family
 
-__all__ = ["default_corpus", "corpus_families", "iter_corpus",
+__all__ = ["CorpusSpec", "default_corpus", "corpus_families", "iter_corpus",
            "synth_family", "synth_families", "MOTIVATING_SHADER"]

@@ -11,6 +11,7 @@ not a hundred thousand.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from heapq import merge
 from itertools import islice
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
@@ -19,6 +20,50 @@ from repro.corpus import synth
 from repro.corpus.templates import ALL_FAMILIES
 from repro.corpus.ubershader import Family
 from repro.harness.results import ShaderCase
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """The corpus-selection parameters shared by every corpus consumer.
+
+    One value object behind the CLI's ``--max-shaders``/``--synth-seed``/
+    ``--synth-count`` flags *and* the study service's :class:`JobSpec`
+    (``repro.service.jobs``), so the two surfaces cannot drift: both call
+    :meth:`build`, which is a thin wrapper over :func:`default_corpus`.
+
+    The spec is canonical-JSON round-trippable (:meth:`to_dict` /
+    :meth:`from_dict`) because it is part of a job's content address.
+    """
+
+    max_shaders: Optional[int] = None
+    synth_seed: Optional[int] = None
+    synth_count: int = 0
+
+    def build(self) -> List[ShaderCase]:
+        """Instantiate the selected corpus (lazily truncated)."""
+        return default_corpus(max_shaders=self.max_shaders,
+                              synth_seed=self.synth_seed,
+                              synth_count=self.synth_count)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A canonical, JSON-safe form (stable across equal specs)."""
+        return {"max_shaders": self.max_shaders,
+                "synth_seed": self.synth_seed,
+                "synth_count": self.synth_count}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CorpusSpec":
+        """Rebuild a spec from :meth:`to_dict` output (extras rejected)."""
+        known = {"max_shaders", "synth_seed", "synth_count"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown CorpusSpec fields: {sorted(unknown)}")
+        max_shaders = payload.get("max_shaders")
+        synth_seed = payload.get("synth_seed")
+        return cls(
+            max_shaders=None if max_shaders is None else int(max_shaders),
+            synth_seed=None if synth_seed is None else int(synth_seed),
+            synth_count=int(payload.get("synth_count") or 0))
 
 
 def corpus_families(synth_seed: Optional[int] = None,

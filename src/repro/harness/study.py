@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.pipeline import ShaderCompiler, VariantSet
 from repro.glsl.metrics import lines_of_code
@@ -124,6 +124,10 @@ class StudyConfig:
     #: in-process memos (streaming mode — memory stays bounded by one case
     #: serially, or by one N x max_workers priming chunk in parallel runs).
     checkpoint_every: int = 0
+    #: called as ``progress(position, total, shader_result)`` after each
+    #: finished case — the incremental-streaming hook the study service
+    #: uses to publish per-case results while a job is still running.
+    progress: Optional[Callable[[int, int, ShaderResult], None]] = None
 
 
 def run_study(corpus: Sequence[ShaderCase],
@@ -174,11 +178,17 @@ def run_study(corpus: Sequence[ShaderCase],
             _prime_engine(chunk, chunk_indices, platforms, engine, scheduler,
                           config.seed, config.verbose)
         for case, case_index in zip(chunk, chunk_indices):
+            # Cooperative cancellation boundary: a service job's timeout or
+            # client cancel lands here between cases (and, finer-grained,
+            # at every compile/measure inside _run_one).
+            engine.check_cancelled()
             position += 1
             if config.verbose:
                 print(f"[study] {position}/{len(cases)} {case.name}")
             result.shaders.append(
                 _run_one(case, case_index, platforms, engine, config.seed))
+            if config.progress is not None:
+                config.progress(position, len(cases), result.shaders[-1])
             if config.checkpoint_every > 0:
                 engine.release_case(case.source)
                 if position % config.checkpoint_every == 0:

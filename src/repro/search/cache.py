@@ -30,6 +30,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from functools import lru_cache
 from pathlib import Path
 from typing import Dict, IO, Optional, Union
@@ -66,9 +67,18 @@ class ResultCache:
     A ``*.jsonl`` path selects the append-only streaming store (entries hit
     disk as they are ``put``); any other path is the one-blob JSON store
     rewritten by :meth:`save`.
+
+    The cache is safe for concurrent readers and writers within one
+    process: every mutation (``put``/``put_variants``/``merge_from``) and
+    every disk operation (stream append, ``save``, ``flush``) holds one
+    re-entrant lock, so the ``repro serve`` worker pool can share a single
+    process-wide instance across jobs and tenants.  Metered reads
+    (``get``) take the lock too, keeping the hit/miss counters exact.
     """
 
     def __init__(self, path: Optional[Union[str, Path]] = None):
+        #: guards _entries, the hit/miss counters, and the stream handle.
+        self._lock = threading.RLock()
         self.path = Path(path) if path else None
         self._entries: Dict[str, dict] = {}
         self.hits = 0
@@ -94,21 +104,23 @@ class ResultCache:
 
     def get(self, key: str) -> Optional[dict]:
         """The entry for *key*, metering the hit/miss counters."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return entry
 
     def put(self, key: str, value: dict) -> None:
         """Store *value* under *key* (streaming stores append immediately)."""
-        if self._entries.get(key) != value:
-            self._entries[key] = value
-            if self._streaming:
-                self._append_line({"k": key, "v": value})
-            else:
-                self._dirty = True
+        with self._lock:
+            if self._entries.get(key) != value:
+                self._entries[key] = value
+                if self._streaming:
+                    self._append_line({"k": key, "v": value})
+                else:
+                    self._dirty = True
 
     # ------------------------------------------------------------------
     # Compiled variant sets
@@ -154,12 +166,14 @@ class ResultCache:
                 texts.append(text)
             combos[str(index)] = positions[text]
         entry = {"texts": texts, "combos": combos}
-        if self._entries.get(self.variants_key(digest)) != entry:
-            self._entries[self.variants_key(digest)] = entry
-            if self._streaming:
-                self._append_line({"k": self.variants_key(digest), "v": entry})
-            else:
-                self._dirty = True
+        with self._lock:
+            if self._entries.get(self.variants_key(digest)) != entry:
+                self._entries[self.variants_key(digest)] = entry
+                if self._streaming:
+                    self._append_line(
+                        {"k": self.variants_key(digest), "v": entry})
+                else:
+                    self._dirty = True
 
     def release_variants(self, digest: str) -> None:
         """Evict a variants entry from memory once it is safely on disk.
@@ -169,7 +183,8 @@ class ResultCache:
         evicting could drop data ``save()`` has not persisted yet.
         """
         if self._streaming:
-            self._entries.pop(self.variants_key(digest), None)
+            with self._lock:
+                self._entries.pop(self.variants_key(digest), None)
 
     # ------------------------------------------------------------------
     # Disk store
@@ -255,41 +270,59 @@ class ResultCache:
         """
         if not isinstance(other, ResultCache):
             other = ResultCache(other)
-        added = 0
-        for key, value in other._entries.items():
-            mine = self._entries.get(key)
-            if mine is None:
-                added += 1
-            elif mine != value:
-                raise ValueError(
-                    f"cache merge conflict on key {key!r}: stores disagree")
-            self.put(key, value)
-        return added
+        with self._lock:
+            added = 0
+            for key, value in other._entries.items():
+                mine = self._entries.get(key)
+                if mine is None:
+                    added += 1
+                elif mine != value:
+                    raise ValueError(
+                        f"cache merge conflict on key {key!r}: "
+                        f"stores disagree")
+                self.put(key, value)
+            return added
+
+    def flush(self) -> None:
+        """Push every buffered entry to the OS *now*.
+
+        Streaming stores flush their line-buffered handle; blob stores do a
+        full :meth:`save`.  This is the explicit checkpoint the long-running
+        service calls between jobs — a daemon cannot rely on interpreter
+        exit to persist its cache the way one-shot CLI runs do.
+        """
+        with self._lock:
+            if self._streaming:
+                if self._stream_handle is not None:
+                    self._stream_handle.flush()
+            else:
+                self.save()
 
     def save(self) -> None:
         """Persist the store: flush for streaming stores; an atomic rewrite
         for blob stores (no-op for memory-only caches and when nothing
         changed since the last load/save)."""
-        if self._streaming:
-            if self._stream_handle is not None:
-                self._stream_handle.flush()
-            return
-        if self.path is None or not self._dirty:
-            return
-        payload = {"version": CACHE_VERSION, "entries": self._entries}
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=str(self.path.parent),
-                                   prefix=self.path.name, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp, self.path)
-            self._dirty = False
-        except BaseException:
-            # Never leak the temp file, whatever the dump/replace raised
-            # (TypeError on an unserializable entry, OSError, Ctrl-C).
+        with self._lock:
+            if self._streaming:
+                if self._stream_handle is not None:
+                    self._stream_handle.flush()
+                return
+            if self.path is None or not self._dirty:
+                return
+            payload = {"version": CACHE_VERSION, "entries": self._entries}
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(self.path.parent),
+                                       prefix=self.path.name, suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(payload, handle)
+                os.replace(tmp, self.path)
+                self._dirty = False
+            except BaseException:
+                # Never leak the temp file, whatever the dump/replace raised
+                # (TypeError on an unserializable entry, OSError, Ctrl-C).
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise

@@ -23,6 +23,7 @@ every measurement on the engine's single seed.)
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -83,6 +84,31 @@ class EvaluationEngine:
         self.frontend_count = 0     # ShaderCompiler constructions
         self.compile_count = 0      # pass-pipeline runs (per flag combo)
         self.measure_count = 0      # actual environment executions
+        # Per-thread cooperative-cancellation hook (see set_cancel_check):
+        # thread-local so service workers sharing one engine each cancel
+        # only their own job.
+        self._cancel_local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Cooperative cancellation
+    # ------------------------------------------------------------------
+
+    def set_cancel_check(self, check: Optional[Callable[[], None]]) -> None:
+        """Install (or clear, with ``None``) this thread's cancel hook.
+
+        The hook is a zero-argument callable invoked at every compile and
+        measurement boundary; it cancels the in-flight work by raising.
+        The ``repro serve`` worker pool uses it to enforce per-job
+        ``--timeout`` deadlines and client-requested cancellation without
+        wedging a worker mid-study.
+        """
+        self._cancel_local.check = check
+
+    def check_cancelled(self) -> None:
+        """Run this thread's cancel hook, if any (no-op otherwise)."""
+        check = getattr(self._cancel_local, "check", None)
+        if check is not None:
+            check()
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -112,6 +138,7 @@ class EvaluationEngine:
         disk cache replays the whole study without a single pass-pipeline
         run (the report pipeline's zero-compile re-render guarantee).
         """
+        self.check_cancelled()
         digest = source_digest(case.source)
         variant_set = self._variant_sets.get(digest)
         if variant_set is None:
@@ -194,6 +221,7 @@ class EvaluationEngine:
     def measure(self, text: str, platform: PlatformLike,
                 seed: Optional[int] = None) -> Sample:
         """Time one shader text on one platform, through the result cache."""
+        self.check_cancelled()
         name = platform.name if isinstance(platform, Platform) else platform
         seed = self.seed if seed is None else seed
         key = make_key(text, -1, name, seed)
@@ -223,6 +251,7 @@ class EvaluationEngine:
         A result-cache hit on the ``sha256(source) x flag index x platform
         x seed`` key short-circuits before any compilation.
         """
+        self.check_cancelled()
         flags = self._coerce_flags(flags)
         name = platform.name if isinstance(platform, Platform) else platform
         key = make_key(case.source, flags.index, name, self.seed)

@@ -62,26 +62,40 @@ def default_workers() -> int:
 
 
 class Scheduler:
-    """Order-preserving map over work units, parallel when asked to be."""
+    """Order-preserving map over work units, parallel when asked to be.
+
+    ``cancel_check`` is an optional zero-argument callable that cancels an
+    in-flight :meth:`map` by raising: the serial path runs it before every
+    unit, the pool path before dispatch.  The study service installs its
+    per-job timeout/cancel hook here so one runaway study cannot wedge a
+    worker inside a long scheduler batch.
+    """
 
     def __init__(self, max_workers: Optional[int] = None,
-                 kind: str = "thread"):
+                 kind: str = "thread",
+                 cancel_check: Optional[Callable[[], None]] = None):
         if kind not in ("thread", "process"):
             raise ValueError(f"kind must be 'thread' or 'process', got {kind!r}")
         self.max_workers = (default_workers() if max_workers is None
                             else max(1, int(max_workers)))
         self.kind = kind
+        self.cancel_check = cancel_check
 
     @property
     def parallel(self) -> bool:
         return self.max_workers > 1
 
+    def _check_cancelled(self) -> None:
+        if self.cancel_check is not None:
+            self.cancel_check()
+
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
         """Apply *fn* to every item, results in input order."""
         units = list(items)
         if not self.parallel or len(units) <= 1:
-            return [fn(unit) for unit in units]
+            return [self._checked(fn, unit) for unit in units]
         workers = min(self.max_workers, len(units))
+        self._check_cancelled()
         try:
             if self.kind == "process":
                 pool = ProcessPoolExecutor(max_workers=workers)
@@ -91,7 +105,7 @@ class Scheduler:
             # Pool creation can fail in constrained sandboxes; the serial
             # path computes the same results.  Worker exceptions are NOT
             # swallowed here — they propagate from pool.map below.
-            return [fn(unit) for unit in units]
+            return [self._checked(fn, unit) for unit in units]
         try:
             with pool:
                 chunk = max(1, len(units) // (workers * 4))
@@ -99,4 +113,8 @@ class Scheduler:
         except BrokenProcessPool:
             # The pool's workers were killed under us (sandbox policy, OOM
             # killer); no partial results are retrievable, so recompute.
-            return [fn(unit) for unit in units]
+            return [self._checked(fn, unit) for unit in units]
+
+    def _checked(self, fn: Callable[[T], R], unit: T) -> R:
+        self._check_cancelled()
+        return fn(unit)

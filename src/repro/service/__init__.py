@@ -1,0 +1,42 @@
+"""repro.service — the long-running study service behind ``repro serve``.
+
+Turns the one-shot CLI workflow into a daemon that faces traffic: tenants
+submit studies over a local socket, a FIFO queue + worker pool executes
+them on the existing search engine, and one process-wide content-addressed
+:class:`~repro.search.cache.ResultCache` is shared across every job — so a
+second tenant submitting already-measured work gets cache hits, not
+recomputes.  The pieces:
+
+- :mod:`repro.service.jobs` — :class:`JobSpec` (content-addressed work
+  descriptions) and the ``pending → running → done/failed/cancelled``
+  lifecycle;
+- :mod:`repro.service.journal` — the torn-tail-safe ``jobs.jsonl`` queue
+  journal a restarted daemon recovers from;
+- :mod:`repro.service.queue` — the FIFO queue and thread worker pool;
+- :mod:`repro.service.runner` — execution on the shared engine, with
+  per-job cooperative timeout/cancellation;
+- :mod:`repro.service.protocol` — the line-delimited-JSON wire format;
+- :mod:`repro.service.server` — :class:`StudyService`, the orchestrator;
+- :mod:`repro.service.client` — :class:`ServiceClient`, what
+  ``repro client`` wraps.
+
+See ``docs/service.md`` for the protocol reference and operational notes.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import (
+    CANCELLED, DONE, FAILED, Job, JobCancelled, JobSpec, PENDING, RUNNING,
+    STUDY_STRATEGY, TERMINAL_STATES,
+)
+from repro.service.journal import JobJournal
+from repro.service.queue import JobQueue, WorkerPool
+from repro.service.runner import JobRunner
+from repro.service.server import StudyService, socket_available
+
+__all__ = [
+    "ServiceClient", "ServiceError",
+    "Job", "JobSpec", "JobCancelled", "STUDY_STRATEGY",
+    "PENDING", "RUNNING", "DONE", "FAILED", "CANCELLED", "TERMINAL_STATES",
+    "JobJournal", "JobQueue", "WorkerPool", "JobRunner",
+    "StudyService", "socket_available",
+]

@@ -1,0 +1,138 @@
+"""Client for the study service: connect, speak line-JSON, return dicts.
+
+:class:`ServiceClient` is what ``repro client`` wraps: one short-lived
+connection per request (the protocol is single-turn), helpers for each
+operation, and a polling :meth:`follow` that yields a job's progress
+events as they land — the ``tail -f`` of study results.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.service.jobs import JobSpec
+from repro.service.protocol import (
+    ProtocolError, decode_line, encode_line, MAX_LINE_BYTES,
+)
+
+
+class ServiceError(Exception):
+    """The service answered ``ok: false`` (its error message verbatim)."""
+
+
+class ServiceClient:
+    """Talk to a ``repro serve`` daemon over its Unix socket."""
+
+    def __init__(self, socket_path: Union[str, Path],
+                 timeout: float = 30.0):
+        self.socket_path = str(socket_path)
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def request(self, payload: dict) -> dict:
+        """One request/response turn; raises :class:`ServiceError` on
+        ``ok: false`` and ``ConnectionError`` if the daemon is unreachable."""
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(self.timeout)
+            try:
+                sock.connect(self.socket_path)
+            except OSError as exc:
+                raise ConnectionError(
+                    f"cannot reach repro serve at {self.socket_path}: "
+                    f"{exc}") from None
+            sock.sendall(encode_line(payload))
+            sock.shutdown(socket.SHUT_WR)
+            line = _recv_line(sock)
+        response = decode_line(line)
+        if not response.get("ok"):
+            raise ServiceError(response.get("error") or "unknown error")
+        return response
+
+    def wait_ready(self, deadline: float = 10.0) -> dict:
+        """Poll ``ping`` until the daemon answers (startup handshake)."""
+        end = time.monotonic() + deadline
+        while True:
+            try:
+                return self.ping()
+            except (ConnectionError, ProtocolError):
+                if time.monotonic() >= end:
+                    raise
+                time.sleep(0.05)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def ping(self) -> dict:
+        """Liveness check."""
+        return self.request({"op": "ping"})
+
+    def submit(self, spec: Union[JobSpec, dict]) -> dict:
+        """Submit a job; returns ``{"id", "digest", "state", "position"}``."""
+        spec_dict = spec.to_dict() if isinstance(spec, JobSpec) else spec
+        return self.request({"op": "submit", "spec": spec_dict})
+
+    def status(self, job_id: Optional[str] = None) -> dict:
+        """One job's status, or every job's when *job_id* is omitted."""
+        payload: dict = {"op": "status"}
+        if job_id is not None:
+            payload["id"] = job_id
+        return self.request(payload)
+
+    def tail(self, job_id: str, since: int = 0) -> dict:
+        """One non-blocking poll: events from *since* plus current state."""
+        return self.request({"op": "tail", "id": job_id, "since": since})
+
+    def follow(self, job_id: str, since: int = 0,
+               poll: float = 0.05) -> Iterator[dict]:
+        """Yield a job's events as they land until it goes terminal.
+
+        The final yielded event (``type: "state"``) carries the terminal
+        state, so consumers need no separate status call.
+        """
+        cursor = since
+        while True:
+            response = self.tail(job_id, since=cursor)
+            for event in response["events"]:
+                yield event
+            cursor = response["next"]
+            if response["state"] in ("done", "failed", "cancelled"):
+                return
+            time.sleep(poll)
+
+    def cancel(self, job_id: str) -> dict:
+        """Request cancellation (immediate when pending, cooperative when
+        running)."""
+        return self.request({"op": "cancel", "id": job_id})
+
+    def stats(self) -> dict:
+        """Service-wide stats: jobs by state, cache counters, workers."""
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to stop (in-flight jobs finish first)."""
+        return self.request({"op": "shutdown"})
+
+
+def _recv_line(sock: socket.socket) -> bytes:
+    """Read one newline-terminated response off *sock*."""
+    chunks = []
+    total = 0
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        total += len(chunk)
+        if chunk.endswith(b"\n") or total > MAX_LINE_BYTES:
+            break
+    line = b"".join(chunks)
+    if not line.endswith(b"\n"):
+        raise ProtocolError("connection closed mid-response")
+    return line

@@ -1,0 +1,218 @@
+"""Job model for the study service: specs, identity, and lifecycle.
+
+A :class:`JobSpec` is everything a tenant submits — one shader text *or* a
+:class:`~repro.corpus.CorpusSpec`, plus a strategy (``"study"`` for the
+paper's exhaustive sweep, or any ``repro.search`` strategy name), the
+target platforms, the measurement seed, and an optional wall-clock
+timeout.  Specs are **content-addressed**: :meth:`JobSpec.digest` hashes a
+canonical form built from the existing source/corpus digests, so two
+tenants submitting the same work produce the same digest — and the second
+submission rides the process-wide warm cache instead of recomputing.
+
+A :class:`Job` is one submission's runtime record.  Its lifecycle is::
+
+    pending -> running -> done
+                       -> failed      (error, or --timeout exceeded)
+                       -> cancelled   (client request)
+
+Every transition is journalled (:mod:`repro.service.journal`) so a
+restarted daemon recovers its queue.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.corpus import CorpusSpec
+from repro.gpu.platform import Platform, all_platforms, platform_by_name
+from repro.harness.results import ShaderCase
+from repro.search.cache import source_digest
+from repro.search.strategies import STRATEGIES
+
+#: The strategy name selecting the exhaustive per-variant study (the paper
+#: protocol); every other valid name comes from ``repro.search.STRATEGIES``.
+STUDY_STRATEGY = "study"
+
+#: Lifecycle states, in submission order of appearance.
+PENDING, RUNNING, DONE, FAILED, CANCELLED = (
+    "pending", "running", "done", "failed", "cancelled")
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+
+class JobCancelled(Exception):
+    """Raised inside a worker to abort a job cooperatively.
+
+    ``timed_out`` distinguishes a ``--timeout`` deadline (the job *fails*)
+    from a client cancel request (the job lands in ``cancelled``).
+    """
+
+    def __init__(self, reason: str, timed_out: bool = False):
+        super().__init__(reason)
+        self.reason = reason
+        self.timed_out = timed_out
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of submittable work (see the module docstring).
+
+    Exactly one of ``source`` (a shader text) and ``corpus`` must be set.
+    ``timeout`` is operational, not content: it is excluded from
+    :meth:`digest`, so the same work under a different deadline still
+    shares its cache entries and its content address.
+    """
+
+    source: Optional[str] = None
+    corpus: Optional[CorpusSpec] = None
+    strategy: str = STUDY_STRATEGY
+    budget: int = 64
+    platforms: Tuple[str, ...] = ()
+    seed: int = 2018
+    timeout: Optional[float] = None
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on any inconsistency a client could send."""
+        if (self.source is None) == (self.corpus is None):
+            raise ValueError(
+                "a JobSpec needs exactly one of source= and corpus=")
+        if self.strategy != STUDY_STRATEGY and self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; choose "
+                f"{STUDY_STRATEGY!r} or one of {sorted(STRATEGIES)}")
+        if self.strategy != STUDY_STRATEGY and self.budget < 1:
+            raise ValueError(f"budget must be >= 1, got {self.budget}")
+        for name in self.platforms:
+            try:
+                platform_by_name(name)
+            except KeyError as exc:
+                raise ValueError(str(exc.args[0])) from None
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+
+    def resolve_platforms(self) -> List[Platform]:
+        """The platform objects this job measures on (empty = all)."""
+        if not self.platforms:
+            return all_platforms()
+        return [platform_by_name(name) for name in self.platforms]
+
+    def cases(self) -> List[ShaderCase]:
+        """The shader cases this job covers.
+
+        A submitted shader text becomes a one-case corpus named after its
+        content digest, so results stay content-addressed end to end.
+        """
+        if self.source is not None:
+            return [ShaderCase(name=f"submitted-{source_digest(self.source)[:12]}",
+                               family="submitted", source=self.source)]
+        assert self.corpus is not None
+        return self.corpus.build()
+
+    # ------------------------------------------------------------------
+    # Identity and serialization
+    # ------------------------------------------------------------------
+
+    def digest(self) -> str:
+        """Content address of the *work*: sha256 over a canonical form.
+
+        Shader text enters via its existing :func:`source_digest`; a corpus
+        via its canonical parameter dict (the corpus content itself is a
+        pure function of those parameters).  ``timeout`` is excluded — see
+        the class docstring.
+        """
+        canonical = {
+            "source": (None if self.source is None
+                       else source_digest(self.source)),
+            "corpus": None if self.corpus is None else self.corpus.to_dict(),
+            "strategy": self.strategy,
+            "budget": (self.budget
+                       if self.strategy != STUDY_STRATEGY else None),
+            "platforms": sorted(self.platforms),
+            "seed": self.seed,
+        }
+        blob = json.dumps(canonical, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form for the journal and the wire protocol."""
+        return {
+            "source": self.source,
+            "corpus": None if self.corpus is None else self.corpus.to_dict(),
+            "strategy": self.strategy,
+            "budget": self.budget,
+            "platforms": list(self.platforms),
+            "seed": self.seed,
+            "timeout": self.timeout,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "JobSpec":
+        """Rebuild (and validate) a spec from :meth:`to_dict` output."""
+        if not isinstance(payload, dict):
+            raise ValueError(f"job spec must be an object, got "
+                             f"{type(payload).__name__}")
+        known = {"source", "corpus", "strategy", "budget", "platforms",
+                 "seed", "timeout"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown JobSpec fields: {sorted(unknown)}")
+        corpus = payload.get("corpus")
+        timeout = payload.get("timeout")
+        spec = cls(
+            source=payload.get("source"),
+            corpus=None if corpus is None else CorpusSpec.from_dict(corpus),
+            strategy=str(payload.get("strategy") or STUDY_STRATEGY),
+            budget=int(payload.get("budget") or 64),
+            platforms=tuple(payload.get("platforms") or ()),
+            seed=int(payload.get("seed", 2018)),
+            timeout=None if timeout is None else float(timeout),
+        )
+        spec.validate()
+        return spec
+
+
+@dataclass
+class Job:
+    """The runtime record of one submission (server-side only)."""
+
+    id: str
+    spec: JobSpec
+    state: str = PENDING
+    error: Optional[str] = None
+    created: float = 0.0
+    started: float = 0.0
+    finished: float = 0.0
+    #: per-case / per-platform progress events, streamed to ``tail``.
+    events: List[dict] = field(default_factory=list)
+    #: engine-counter deltas attributed to this job (set at completion).
+    work: Dict[str, int] = field(default_factory=dict)
+    summary: Optional[dict] = None
+    result_path: Optional[str] = None
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def terminal(self) -> bool:
+        """True once the job has reached done/failed/cancelled."""
+        return self.state in TERMINAL_STATES
+
+    def status(self) -> dict:
+        """The JSON-safe status payload served to clients."""
+        return {
+            "id": self.id,
+            "digest": self.spec.digest(),
+            "strategy": self.spec.strategy,
+            "state": self.state,
+            "error": self.error,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "events": len(self.events),
+            "work": dict(self.work),
+            "summary": self.summary,
+            "result_path": self.result_path,
+        }

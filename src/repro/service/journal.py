@@ -1,0 +1,151 @@
+"""Torn-tail-safe job journal: the daemon's durable queue state.
+
+One append-only ``.jsonl`` file records every job submission and every
+lifecycle transition as a single JSON line, written through a line-buffered
+handle so each record hits the OS the moment it is appended (the same
+durability recipe as the PR 4 streaming result store).  A killed daemon
+therefore loses at most the one line it was writing — and
+:meth:`JobJournal.replay` tolerates that torn tail, so a restarted daemon
+reconstructs its queue exactly: jobs whose last recorded state is
+non-terminal (``pending`` or ``running`` — i.e. interrupted) are
+re-queued in their original submission order.
+
+Record shapes::
+
+    {"version": 1, "kind": "repro-service-journal"}      # header, line 1
+    {"t": "submit", "id": "...", "spec": {...}}
+    {"t": "state", "id": "...", "state": "running"}
+    {"t": "state", "id": "...", "state": "failed", "error": "..."}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Dict, IO, List, Optional, Union
+
+#: Bump when the record layout changes incompatibly.
+JOURNAL_VERSION = 1
+
+_HEADER = {"version": JOURNAL_VERSION, "kind": "repro-service-journal"}
+
+
+class JobJournal:
+    """Append-only journal with torn-tail-tolerant replay.
+
+    Thread-safe: the worker pool and the accept loop both write through
+    one lock.  A missing/empty file is a fresh journal; a corrupt or
+    version-skewed header discards the file on the next append (the jobs
+    it described are unrecoverable anyway under a layout change).
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._handle: Optional[IO[str]] = None
+        self._rewrite = False
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def record_submit(self, job_id: str, spec_dict: dict) -> None:
+        """Journal a new submission (spec travels in full, for recovery)."""
+        self._append({"t": "submit", "id": job_id, "spec": spec_dict})
+
+    def record_state(self, job_id: str, state: str,
+                     error: Optional[str] = None) -> None:
+        """Journal a lifecycle transition."""
+        record: dict = {"t": "state", "id": job_id, "state": state}
+        if error:
+            record["error"] = error
+        self._append(record)
+
+    def _append(self, record: dict) -> None:
+        with self._lock:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                fresh = (self._rewrite or not self.path.exists()
+                         or self.path.stat().st_size == 0)
+                torn_tail = False
+                if not fresh:
+                    # Terminate a torn final line before appending after it
+                    # (replay already ignores the fragment itself).
+                    with open(self.path, "rb") as existing:
+                        existing.seek(-1, os.SEEK_END)
+                        torn_tail = existing.read(1) != b"\n"
+                self._handle = open(self.path,
+                                    "w" if self._rewrite else "a",
+                                    buffering=1)
+                self._rewrite = False
+                if torn_tail:
+                    self._handle.write("\n")
+                if fresh:
+                    self._handle.write(json.dumps(_HEADER) + "\n")
+            self._handle.write(json.dumps(record) + "\n")
+
+    def flush(self) -> None:
+        """Push buffered records to the OS (checkpoint boundary)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and close the underlying handle (daemon shutdown)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+
+    def replay(self) -> List[dict]:
+        """Every intact record, in order (torn tail and garbage skipped).
+
+        A bad header marks the file for rewrite-on-next-append and replays
+        nothing, mirroring the result cache's version-skew behaviour.
+        """
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError:
+            return []
+        if not lines:
+            return []
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            header = None
+        if (not isinstance(header, dict)
+                or header.get("version") != JOURNAL_VERSION):
+            self._rewrite = True
+            return []
+        records = []
+        for line in lines[1:]:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue        # torn tail from a killed daemon
+            if isinstance(record, dict) and "t" in record and "id" in record:
+                records.append(record)
+        return records
+
+    def replay_jobs(self) -> "Dict[str, dict]":
+        """Fold :meth:`replay` into ``id -> {"spec", "state", "error"}``.
+
+        Insertion order is submission order, which is what FIFO recovery
+        needs.  State records for unknown ids (their submit line was torn)
+        are dropped.
+        """
+        jobs: Dict[str, dict] = {}
+        for record in self.replay():
+            if record["t"] == "submit" and isinstance(record.get("spec"), dict):
+                jobs[record["id"]] = {"spec": record["spec"],
+                                      "state": "pending", "error": None}
+            elif record["t"] == "state" and record["id"] in jobs:
+                jobs[record["id"]]["state"] = record.get("state")
+                jobs[record["id"]]["error"] = record.get("error")
+        return jobs

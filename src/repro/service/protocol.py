@@ -1,0 +1,75 @@
+"""The wire protocol: one line-delimited JSON request/response per turn.
+
+Deliberately minimal so the service is scriptable without importing the
+package — ``nc -U service.sock`` plus a JSON line is a complete client.
+Every request is a single JSON object on one line carrying an ``"op"``
+key; every response is a single JSON object on one line carrying
+``"ok": true/false`` (and ``"error"`` when false).  Connections serve one
+request each: clients that poll (``tail``) reconnect per poll, which keeps
+the server handler stateless and restart-tolerant.
+
+Operations (see ``docs/service.md`` for the full schemas)::
+
+    {"op": "ping"}
+    {"op": "submit", "spec": {...JobSpec...}}
+    {"op": "status", "id": "..."}          # omit id -> all jobs
+    {"op": "tail", "id": "...", "since": N}
+    {"op": "cancel", "id": "..."}
+    {"op": "stats"}
+    {"op": "shutdown"}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import BinaryIO, Optional
+
+#: Requests and responses above this size are refused, not buffered —
+#: a submitted shader text has no business being this large.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """A malformed, oversized, or truncated protocol line."""
+
+
+def encode_line(payload: dict) -> bytes:
+    """Serialize one message to its wire form (JSON + newline)."""
+    blob = json.dumps(payload, separators=(",", ":")).encode()
+    if len(blob) > MAX_LINE_BYTES:
+        raise ProtocolError(f"message of {len(blob)} bytes exceeds the "
+                            f"{MAX_LINE_BYTES}-byte line limit")
+    return blob + b"\n"
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one wire line into a message dict (ProtocolError otherwise)."""
+    try:
+        payload = json.loads(line.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed protocol line: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"protocol line must be a JSON object, got "
+            f"{type(payload).__name__}")
+    return payload
+
+
+def read_message(stream: BinaryIO) -> Optional[dict]:
+    """Read one message from a socket file; ``None`` on clean EOF."""
+    line = stream.readline(MAX_LINE_BYTES + 2)
+    if not line:
+        return None
+    if not line.endswith(b"\n"):
+        raise ProtocolError("truncated or oversized protocol line")
+    return decode_line(line)
+
+
+def ok_response(**fields: object) -> dict:
+    """A success response (``ok: true`` plus *fields*)."""
+    return dict({"ok": True}, **fields)
+
+
+def error_response(message: str) -> dict:
+    """A failure response carrying a human-readable error."""
+    return {"ok": False, "error": message}

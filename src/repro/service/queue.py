@@ -1,0 +1,125 @@
+"""FIFO job queue and the worker pool that drains it.
+
+The queue is deliberately simple: strict submission order, an in-memory
+registry of every job the daemon has seen this lifetime, and lazy
+cancellation — a job cancelled while still pending is marked terminal
+immediately and skipped when a worker would otherwise pick it up.
+
+Workers are threads, not processes: jobs execute through one shared
+:class:`~repro.search.engine.EvaluationEngine` whose memos and
+:class:`~repro.search.cache.ResultCache` ARE the service's warm state, and
+that state must live in one process to be shared.  The CPU-heavy inner
+work can still fan out per job via the engine's process-pool scheduler
+(``job_workers``), the same way one-shot ``repro study --jobs N`` runs do.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+from typing import Callable, Dict, List, Optional
+
+from repro.service.jobs import CANCELLED, Job, PENDING
+
+
+class JobQueue:
+    """Thread-safe FIFO of :class:`Job` objects plus a registry of all jobs."""
+
+    def __init__(self) -> None:
+        self._fifo: "_queue.Queue[str]" = _queue.Queue()
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+
+    def submit(self, job: Job) -> int:
+        """Register and enqueue *job*; returns its 0-based queue position."""
+        with self._lock:
+            self._jobs[job.id] = job
+        self._fifo.put(job.id)
+        return self._fifo.qsize() - 1
+
+    def next_job(self, timeout: float) -> Optional[Job]:
+        """The next runnable job, or ``None`` after *timeout* seconds.
+
+        Jobs that went terminal while queued (pending-state cancellation)
+        are skipped, not returned.
+        """
+        deadline_hit = False
+        while not deadline_hit:
+            try:
+                job_id = self._fifo.get(timeout=timeout)
+            except _queue.Empty:
+                return None
+            job = self.get(job_id)
+            if job is not None and job.state == PENDING:
+                return job
+        return None
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """The registered job for *job_id*, if the daemon has seen it."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def all_jobs(self) -> List[Job]:
+        """Every registered job, in submission order."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def pending_count(self) -> int:
+        """How many registered jobs are still pending."""
+        with self._lock:
+            return sum(1 for job in self._jobs.values()
+                       if job.state == PENDING)
+
+    def cancel_pending(self, job: Job) -> bool:
+        """Mark a still-pending *job* cancelled; False if it already ran."""
+        with self._lock:
+            if job.state != PENDING:
+                return False
+            job.state = CANCELLED
+            job.error = "cancelled before start"
+            return True
+
+
+class WorkerPool:
+    """N daemon threads executing queued jobs through one callable.
+
+    ``execute`` receives each claimed :class:`Job` and owns its full
+    lifecycle (state transitions, journalling, error capture) — the pool
+    only guarantees that a raised exception kills neither the worker nor
+    its siblings.
+    """
+
+    def __init__(self, queue: JobQueue, execute: Callable[[Job], None],
+                 workers: int = 1):
+        self.queue = queue
+        self.execute = execute
+        self.workers = max(1, int(workers))
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+
+    def start(self) -> None:
+        """Spin up the worker threads (idempotent)."""
+        if self._threads:
+            return
+        for index in range(self.workers):
+            thread = threading.Thread(target=self._loop, daemon=True,
+                                      name=f"repro-worker-{index}")
+            thread.start()
+            self._threads.append(thread)
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.next_job(timeout=0.1)
+            if job is None:
+                continue
+            try:
+                self.execute(job)
+            except Exception:       # noqa: BLE001 — a job must never
+                pass                # take its worker down with it
+
+    def stop(self, join_timeout: float = 10.0) -> None:
+        """Ask workers to exit after their current job, then join them."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=join_timeout)
+        self._threads = []

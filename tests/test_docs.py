@@ -17,7 +17,7 @@ from repro.reporting import artifact_names
 ROOT = Path(__file__).resolve().parent.parent
 
 DOC_FILES = ("architecture.md", "paper_mapping.md", "cli.md", "corpus.md",
-             "tutorial.md")
+             "tutorial.md", "service.md")
 
 
 def test_docs_tree_exists():
@@ -93,7 +93,7 @@ def test_docs_contain_repro_commands():
     assert len(_COMMANDS) >= 20
     documented = {argv[0] for _, argv in _COMMANDS}
     assert {"optimize", "variants", "study", "merge-results", "tune",
-            "report"} <= documented
+            "report", "serve", "client"} <= documented
 
 
 @pytest.mark.parametrize("label,argv", _COMMANDS,

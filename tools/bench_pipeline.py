@@ -4,13 +4,16 @@
 Times the 256-combination variant explosion on the motivating shader (and a
 corpus aggregate) under both ``REPRO_COMPILE`` modes, asserts the trie path
 is byte-identical to the naive path and at least ``--min-speedup`` times
-faster, and writes the numbers as JSON.  CI runs this after the
-pytest-benchmark suite; the committed BENCH_pipeline.json seeds the repo's
-recorded perf baseline.
+faster, and writes the numbers as JSON.  Also boots an in-process
+``StudyService`` and times a cold corpus-study submission against a warm
+resubmission of the same spec, asserting the warm path does zero engine
+work.  CI runs this after the pytest-benchmark suite; the committed
+BENCH_pipeline.json seeds the repo's recorded perf baseline.
 
 Usage:
     PYTHONPATH=src python tools/bench_pipeline.py [--out BENCH_pipeline.json]
         [--min-speedup 3.0] [--corpus-shaders 8] [--repeats 3]
+        [--service-shaders 2]
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ import argparse
 import json
 import platform as platform_mod
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -60,12 +64,61 @@ def bench_shader(source: str, repeats: int) -> dict:
     }
 
 
+def bench_service(max_shaders: int) -> dict:
+    """Cold submit vs warm resubmit of one corpus study through the service.
+
+    Runs the real service objects (journal, queue, worker pool, shared
+    engine) in-process — the socket transport is the only piece skipped,
+    so the numbers isolate the warm-cache win from connection overhead.
+    """
+    from repro.service.server import StudyService
+
+    def submit_and_wait(svc):
+        start = time.perf_counter()
+        response = svc.handle(
+            {"op": "submit", "spec": {"corpus": {"max_shaders": max_shaders}}})
+        if not response.get("ok"):
+            raise SystemExit(f"FATAL: service submit failed: {response}")
+        job = svc.queue.get(response["id"])
+        deadline = time.monotonic() + 300.0
+        while not job.terminal:
+            if time.monotonic() > deadline:
+                raise SystemExit(f"FATAL: service job {job.id} never finished")
+            time.sleep(0.01)
+        elapsed = time.perf_counter() - start
+        if job.state != "done":
+            raise SystemExit(
+                f"FATAL: service job ended {job.state}: {job.error}")
+        return elapsed, job
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as tmp:
+        svc = StudyService(tmp, workers=1)
+        svc.pool.start()
+        try:
+            cold_s, cold = submit_and_wait(svc)
+            warm_s, warm = submit_and_wait(svc)
+        finally:
+            svc.stop()
+    if any(warm.work.get(key) for key in ("frontends", "compiles",
+                                          "measures")):
+        raise SystemExit(f"FATAL: warm resubmit did engine work: {warm.work}")
+    return {
+        "shaders": max_shaders,
+        "cold_seconds": round(cold_s, 6),
+        "warm_seconds": round(warm_s, 6),
+        "speedup": round(cold_s / warm_s, 2),
+        "cold_work": cold.work,
+        "warm_work": warm.work,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="BENCH_pipeline.json")
     parser.add_argument("--min-speedup", type=float, default=3.0)
     parser.add_argument("--corpus-shaders", type=int, default=8)
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--service-shaders", type=int, default=2)
     args = parser.parse_args(argv)
 
     motivating = bench_shader(MOTIVATING_SHADER, args.repeats)
@@ -89,6 +142,7 @@ def main(argv=None) -> int:
             "trie_seconds": round(trie_total, 6),
             "speedup": round(naive_total / trie_total, 2),
         },
+        "service_warm_resubmit": bench_service(args.service_shaders),
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -99,6 +153,10 @@ def main(argv=None) -> int:
           f"{motivating['trie_emits']} vs 256 emissions)")
     print(f"corpus x{len(corpus)}: naive {naive_total:.2f}s, "
           f"trie {trie_total:.2f}s -> {naive_total / trie_total:.1f}x")
+    service = payload["service_warm_resubmit"]
+    print(f"service x{service['shaders']}: cold {service['cold_seconds']:.2f}s, "
+          f"warm resubmit {service['warm_seconds']:.3f}s -> "
+          f"{service['speedup']:.0f}x (warm work: 0/0/0)")
     print(f"wrote {args.out}")
     if speedup < args.min_speedup:
         print(f"FAIL: speedup {speedup:.2f}x below the "
