@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import List
 
 
 @dataclass(frozen=True)
@@ -31,3 +32,40 @@ class TimerModel:
         if self.quantum_ns > 0:
             noisy = round(noisy / self.quantum_ns) * self.quantum_ns
         return max(noisy, 0.0)
+
+    def measure_many(self, true_ns: float, rng: random.Random,
+                     count: int) -> List[float]:
+        """*count* consecutive queries, bit-identical to calling
+        :meth:`measure` *count* times on the same ``rng``.
+
+        This is the timer-sampling inner loop (hundreds of queries per
+        measurement protocol run): attribute lookups, the drift/quantum
+        mode tests, and method dispatch are hoisted out of the loop, with
+        every arithmetic expression and RNG-draw order kept exactly as in
+        :meth:`measure` so the float stream — and the ``rng`` state left
+        behind — are unchanged.
+        """
+        gauss = rng.gauss
+        sigma, overhead = self.sigma, self.overhead_ns
+        quantum, drift_sigma = self.quantum_ns, self.drift_sigma
+        if drift_sigma:
+            raw = [true_ns * _noise_factor(gauss(0.0, drift_sigma),
+                                           gauss(0.0, sigma)) + overhead
+                   for _ in range(count)]
+        else:
+            raw = [true_ns * (1.0 + gauss(0.0, sigma) + 0.0) + overhead
+                   for _ in range(count)]
+        if quantum > 0:
+            raw = [round(value / quantum) * quantum for value in raw]
+        return [max(value, 0.0) for value in raw]
+
+
+def _noise_factor(drift: float, noise: float) -> float:
+    """``1.0 + noise + drift`` with the drift sample drawn first.
+
+    ``measure`` draws the drift before the noise but sums left-to-right as
+    ``(1.0 + noise) + drift``; call arguments evaluate left-to-right, so
+    this helper preserves both the RNG draw order and the float-addition
+    association, keeping the batched stream bit-identical.
+    """
+    return 1.0 + noise + drift

@@ -334,15 +334,25 @@ def _measure_batch(batch: MeasureBatch) -> List[Tuple[float, int, int]]:
     """Pool worker: measure one shader text on every (platform, seed) task.
 
     The text crosses the process boundary once per batch; the vendor JITs'
-    shared front-end memo then parses it once for all platforms here.
+    shared front-end memo then parses it once for all platforms here.  The
+    batch's tasks are grouped per platform and run through
+    :meth:`~repro.harness.environment.ShaderExecutionEnvironment.run_many`,
+    so in the default ``REPRO_MEASURE=batched`` mode each (text, platform)
+    unit compiles, profiles, and costs once no matter how many measurement
+    seeds it carries.
     """
-    results: List[Tuple[float, int, int]] = []
-    for platform_name, seed in batch.tasks:
+    by_platform: Dict[str, List[Tuple[int, int]]] = {}
+    for position, (platform_name, seed) in enumerate(batch.tasks):
+        by_platform.setdefault(platform_name, []).append((position, seed))
+    results: List[Optional[Tuple[float, int, int]]] = [None] * len(batch.tasks)
+    for platform_name, tasks in by_platform.items():
         env = ShaderExecutionEnvironment(platform_by_name(platform_name))
-        report = env.run(batch.text, seed=seed)
-        results.append((report.measurement.mean_ns, report.cost.static_ops,
-                        report.cost.registers))
-    return results
+        reports = env.run_many(batch.text, [seed for _, seed in tasks])
+        for (position, _), report in zip(tasks, reports):
+            results[position] = (report.measurement.mean_ns,
+                                 report.cost.static_ops,
+                                 report.cost.registers)
+    return results  # type: ignore[return-value]
 
 
 def _variant_seed(seed: int, case_index: int, variant_id: int) -> int:

@@ -8,7 +8,7 @@ colourfully-patterned opaque power-of-two image for texture bindings)."
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.glsl import types as T
 from repro.glsl.introspect import ShaderInterface
@@ -87,3 +87,31 @@ def fragment_inputs(interface: ShaderInterface,
         else:
             values[var.name] = default_value(ty)
     return values
+
+
+def batch_fragment_inputs(
+        interface: ShaderInterface,
+        positions: Sequence[Tuple[float, float]]) -> List[Dict[str, object]]:
+    """One stage-input dict per sample position — the lanes of a batched
+    interpreter run.
+
+    Introspection is walked once for the whole batch; only the
+    position-derived varyings differ between lanes, so the
+    position-independent defaults are computed once and shared (the values
+    are immutable tuples/scalars, safe to alias across lane dicts).
+    """
+    plan: List[Tuple[str, int, object]] = []
+    for var in interface.inputs:
+        ty = var.ty
+        if isinstance(ty, T.Vector) and ty.kind == T.ScalarKind.FLOAT:
+            plan.append((var.name, ty.size, None))
+        elif isinstance(ty, T.Scalar):
+            plan.append((var.name, 0, default_scalar(ty.kind)))
+        elif isinstance(ty, T.Vector):
+            plan.append((var.name, 0, tuple(default_scalar(ty.kind)
+                                            for _ in range(ty.size))))
+        else:
+            plan.append((var.name, 0, default_value(ty)))
+    return [{name: ((x, y, 0.5, 1.0)[:size] if shared is None else shared)
+             for name, size, shared in plan}
+            for x, y in positions]

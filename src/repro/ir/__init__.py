@@ -16,10 +16,11 @@ from repro.ir.mem2reg import promote_to_ssa
 from repro.ir.verify import verify_function
 from repro.ir.glsl_backend import emit_glsl
 from repro.ir.interp import Interpreter
+from repro.ir.interp_batch import BatchedInterpreter
 
 __all__ = [
     "IRType", "FLOAT", "INT", "BOOL", "vec",
     "Module", "Function", "BasicBlock",
     "lower_shader", "promote_to_ssa", "verify_function", "emit_glsl",
-    "Interpreter",
+    "Interpreter", "BatchedInterpreter",
 ]

@@ -42,16 +42,24 @@ class ExecutionStats:
 
 
 class Interpreter:
-    """Executes a module's ``main`` for one fragment."""
+    """Executes a module's ``main`` for one fragment.
+
+    ``max_steps`` bounds the dynamic instruction count for this one
+    fragment (defaults to the module-level ``_MAX_STEPS`` budget); the
+    batched interpreter (:mod:`repro.ir.interp_batch`) enforces the same
+    budget independently per lane.
+    """
 
     def __init__(self, module: Module,
                  uniforms: Optional[Dict[str, object]] = None,
                  inputs: Optional[Dict[str, RtVal]] = None,
-                 textures: Optional[Dict[str, ProceduralTexture]] = None):
+                 textures: Optional[Dict[str, ProceduralTexture]] = None,
+                 max_steps: Optional[int] = None):
         self.module = module
         self.uniforms = uniforms or {}
         self.inputs = inputs or {}
         self.textures = textures or {}
+        self.max_steps = _MAX_STEPS if max_steps is None else max_steps
         self.stats = ExecutionStats()
 
     def run(self) -> Dict[str, RtVal]:
@@ -94,7 +102,7 @@ class Interpreter:
             next_block: Optional[BasicBlock] = None
             for instr in block.non_phi_instrs():
                 self.stats.steps += 1
-                if self.stats.steps > _MAX_STEPS:
+                if self.stats.steps > self.max_steps:
                     raise InterpError("step limit exceeded (infinite loop?)")
 
                 if isinstance(instr, Br):

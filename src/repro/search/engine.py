@@ -221,24 +221,50 @@ class EvaluationEngine:
     def measure(self, text: str, platform: PlatformLike,
                 seed: Optional[int] = None) -> Sample:
         """Time one shader text on one platform, through the result cache."""
+        seed = self.seed if seed is None else seed
+        return self.measure_many(text, platform, [seed])[0]
+
+    def measure_many(self, text: str, platform: PlatformLike,
+                     seeds: Sequence[int]) -> List[Sample]:
+        """Time one shader text under every measurement seed, through the
+        result cache.
+
+        The uncached seeds run as one
+        :meth:`~repro.harness.environment.ShaderExecutionEnvironment.run_many`
+        batch: in the default ``REPRO_MEASURE=batched`` mode the driver
+        JIT, the (lane-batched) interpreter profile, and the cost model
+        run once for the whole unit and only the seed-dependent timer
+        protocol repeats, so the module is traversed once rather than once
+        per seed.  Samples come back in *seeds* order, bit-identical to
+        per-seed :meth:`measure` calls.
+        """
         self.check_cancelled()
         name = platform.name if isinstance(platform, Platform) else platform
-        seed = self.seed if seed is None else seed
-        key = make_key(text, -1, name, seed)
-        cached = self.cache.get(key)
-        if cached is not None:
-            return Sample(mean_ns=cached["mean_ns"],
-                          static_ops=int(cached["static_ops"]),
-                          registers=int(cached["registers"]))
-        self.measure_count += 1
-        report = self.environment(name).run(text, seed=seed)
-        sample = Sample(mean_ns=report.measurement.mean_ns,
-                        static_ops=report.cost.static_ops,
-                        registers=report.cost.registers)
-        self.cache.put(key, {"mean_ns": sample.mean_ns,
-                             "static_ops": sample.static_ops,
-                             "registers": sample.registers})
-        return sample
+        samples: List[Optional[Sample]] = []
+        pending: List[Tuple[int, int]] = []
+        for position, seed in enumerate(seeds):
+            cached = self.cache.get(make_key(text, -1, name, seed))
+            if cached is not None:
+                samples.append(Sample(mean_ns=cached["mean_ns"],
+                                      static_ops=int(cached["static_ops"]),
+                                      registers=int(cached["registers"])))
+            else:
+                samples.append(None)
+                pending.append((position, seed))
+        if pending:
+            reports = self.environment(name).run_many(
+                text, [seed for _, seed in pending])
+            for (position, seed), report in zip(pending, reports):
+                self.measure_count += 1
+                sample = Sample(mean_ns=report.measurement.mean_ns,
+                                static_ops=report.cost.static_ops,
+                                registers=report.cost.registers)
+                self.cache.put(make_key(text, -1, name, seed),
+                               {"mean_ns": sample.mean_ns,
+                                "static_ops": sample.static_ops,
+                                "registers": sample.registers})
+                samples[position] = sample
+        return samples  # type: ignore[return-value]
 
     def original(self, case: ShaderCase, platform: PlatformLike) -> Sample:
         """Measurement of the unaltered shader (the speed-up baseline)."""

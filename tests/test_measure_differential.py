@@ -1,0 +1,214 @@
+"""Differential testing: batched measurement vs the scalar reference.
+
+The lane-batched interpreter and the seed-batched measurement path
+(``REPRO_MEASURE=batched``, the default) must be pure optimizations:
+bit-identical per-lane interpreter outputs and stats, bit-identical
+:class:`ExecutionReport` timing samples for every measurement seed, and
+byte-identical :class:`StudyResult` JSON versus the scalar
+one-instruction-at-a-time walk, under every ``REPRO_MEASURE`` mode and
+``max_workers`` setting — for every pass pipeline and for a seeded slice
+of the synthesized corpus.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import ShaderCompiler, optimize_source
+from repro.corpus import MOTIVATING_SHADER, default_corpus
+from repro.gpu.platform import all_platforms
+from repro.harness.environment import (
+    SAMPLE_FRAGMENTS, ShaderExecutionEnvironment, measure_mode,
+)
+from repro.harness.study import StudyConfig, run_study
+from repro.harness.uniforms import (
+    batch_fragment_inputs, default_textures, default_uniform_values,
+    fragment_inputs,
+)
+from repro.ir.interp import Interpreter
+from repro.ir.interp_batch import BatchedInterpreter
+from repro.passes import OptimizationFlags
+from repro.search.engine import EvaluationEngine
+
+#: Every single-pass pipeline plus the empty and all-on combinations.
+PASS_PIPELINES = ([OptimizationFlags.none()]
+                  + [OptimizationFlags.from_index(1 << bit)
+                     for bit in range(8)]
+                  + [OptimizationFlags.from_index(255)])
+
+
+@pytest.fixture(scope="module")
+def corpus_slice():
+    """A seeded slice of the synthesized corpus plus hand-picked cases
+    covering divergent branches, loops, discard, and texture sampling."""
+    corpus = default_corpus(synth_seed=20180417, synth_count=2)
+    synth = [case for case in corpus if case.family.startswith("synth_")]
+    picked = [case for case in corpus
+              if case.family in ("sprite", "blur", "phong")][:3]
+    return synth[:2] + picked
+
+
+def assert_report_identical(a, b, context=""):
+    """Bit-exact ExecutionReport equality (no tolerance)."""
+    assert a.measurement.mean_ns == b.measurement.mean_ns, context
+    assert a.measurement.std_ns == b.measurement.std_ns, context
+    assert a.measurement.repeat_means == b.measurement.repeat_means, context
+    assert a.cost == b.cost, context
+    assert a.true_ns == b.true_ns, context
+
+
+# ---------------------------------------------------------------------------
+# Per-lane interpreter equivalence, for every pass pipeline
+# ---------------------------------------------------------------------------
+
+
+def test_batched_interpreter_matches_scalar_per_lane_every_pipeline():
+    """For every pass pipeline's emitted variant, on every platform's
+    JIT-compiled module, every lane of one batched pass must reproduce
+    the scalar interpreter's outputs and stats exactly."""
+    compiler = ShaderCompiler(MOTIVATING_SHADER)
+    for flags in PASS_PIPELINES:
+        text = compiler.compile(flags).output
+        for platform in all_platforms():
+            module = platform.jit.compile(text)
+            interface = module.interface
+            uniforms = default_uniform_values(interface)
+            textures = default_textures(interface)
+            lanes = batch_fragment_inputs(interface, SAMPLE_FRAGMENTS)
+            assert lanes == [fragment_inputs(interface, position)
+                             for position in SAMPLE_FRAGMENTS]
+
+            batch = BatchedInterpreter(module, uniforms=uniforms,
+                                       inputs=lanes, textures=textures)
+            batched_outputs = batch.run()
+            for lane, inputs in enumerate(lanes):
+                interp = Interpreter(module, uniforms=uniforms, inputs=inputs,
+                                     textures=textures)
+                context = (flags.index, platform.name, lane)
+                assert interp.run() == batched_outputs[lane], context
+                lane_stats = batch.stats[lane]
+                assert interp.stats.steps == lane_stats.steps, context
+                assert interp.stats.block_visits == lane_stats.block_visits, \
+                    context
+                assert (list(interp.stats.block_visits)
+                        == list(lane_stats.block_visits)), \
+                    f"visit order drifted: {context}"
+                assert (interp.stats.texture_samples
+                        == lane_stats.texture_samples), context
+
+
+# ---------------------------------------------------------------------------
+# ExecutionReport equivalence across modes, seeds, and the corpus slice
+# ---------------------------------------------------------------------------
+
+
+def test_reports_identical_across_modes_every_pipeline():
+    for flags in PASS_PIPELINES:
+        text = optimize_source(MOTIVATING_SHADER, flags)
+        for platform in all_platforms():
+            env = ShaderExecutionEnvironment(platform)
+            scalar = env.run(text, seed=13, mode="scalar")
+            batched = env.run(text, seed=13, mode="batched")
+            assert_report_identical(scalar, batched,
+                                    (flags.index, platform.name))
+
+
+def test_run_many_matches_scalar_per_seed_on_corpus_slice(corpus_slice):
+    seeds = [2018, 3, 77]
+    for case in corpus_slice:
+        for platform in all_platforms()[:3]:
+            env = ShaderExecutionEnvironment(platform)
+            scalar = [env.run(case.source, seed=seed, mode="scalar")
+                      for seed in seeds]
+            batched = env.run_many(case.source, seeds, mode="batched")
+            assert len(batched) == len(seeds)
+            for seed, a, b in zip(seeds, scalar, batched):
+                assert_report_identical(a, b, (case.name, platform.name, seed))
+
+
+def test_scalar_mode_run_many_equals_per_seed_runs(corpus_slice):
+    case = corpus_slice[0]
+    env = ShaderExecutionEnvironment(all_platforms()[0])
+    seeds = [5, 6]
+    many = env.run_many(case.source, seeds, mode="scalar")
+    for seed, report in zip(seeds, many):
+        assert_report_identical(env.run(case.source, seed=seed, mode="scalar"),
+                                report, seed)
+
+
+# ---------------------------------------------------------------------------
+# Engine-level seed batching through the result cache
+# ---------------------------------------------------------------------------
+
+
+def test_engine_measure_many_matches_per_seed_measures():
+    platforms = all_platforms()[:2]
+    seeds = [11, 12, 13]
+    reference = EvaluationEngine(platforms=platforms)
+    expected = [reference.measure(MOTIVATING_SHADER, platforms[0].name, seed)
+                for seed in seeds]
+
+    engine = EvaluationEngine(platforms=platforms)
+    samples = engine.measure_many(MOTIVATING_SHADER, platforms[0].name, seeds)
+    assert samples == expected
+    assert engine.measure_count == len(seeds)
+
+    # A second batch overlapping the first only measures the new seeds,
+    # and cached/uncached samples interleave in request order.
+    mixed = engine.measure_many(MOTIVATING_SHADER, platforms[0].name,
+                                [12, 99, 11])
+    assert mixed[0] == expected[1]
+    assert mixed[2] == expected[0]
+    assert engine.measure_count == len(seeds) + 1
+    assert mixed[1] == reference.measure(MOTIVATING_SHADER,
+                                         platforms[0].name, 99)
+
+
+# ---------------------------------------------------------------------------
+# Mode plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_measure_mode_resolution(monkeypatch):
+    monkeypatch.delenv("REPRO_MEASURE", raising=False)
+    assert measure_mode() == "batched"
+    assert measure_mode("scalar") == "scalar"
+    monkeypatch.setenv("REPRO_MEASURE", "scalar")
+    assert measure_mode() == "scalar"
+    assert measure_mode("batched") == "batched", "explicit arg beats the env"
+    with pytest.raises(ValueError):
+        measure_mode("vectorized")
+
+
+# ---------------------------------------------------------------------------
+# Byte-identical StudyResult across REPRO_MEASURE modes and --jobs
+# ---------------------------------------------------------------------------
+
+
+def test_study_json_identical_across_measure_modes_and_jobs(monkeypatch):
+    corpus = default_corpus(max_shaders=2)
+    platforms = all_platforms()[:2]
+
+    def study_json(mode: str, workers: int) -> str:
+        monkeypatch.setenv("REPRO_MEASURE", mode)
+        config = StudyConfig(platforms=platforms, max_workers=workers)
+        return run_study(corpus, config).to_json()
+
+    baseline = study_json("scalar", 1)
+    assert study_json("batched", 1) == baseline
+    assert study_json("batched", 2) == baseline
+    assert study_json("scalar", 2) == baseline
+
+
+def test_synth_study_json_identical_across_measure_modes(monkeypatch):
+    corpus = [case for case in default_corpus(synth_seed=7, synth_count=1)
+              if case.family.startswith("synth_")][:1]
+    assert corpus, "synth corpus slice is empty"
+    platforms = all_platforms()[:2]
+
+    def study_json(mode: str) -> str:
+        monkeypatch.setenv("REPRO_MEASURE", mode)
+        return run_study(corpus,
+                         StudyConfig(platforms=platforms)).to_json()
+
+    assert study_json("batched") == study_json("scalar")

@@ -10,10 +10,16 @@ resubmission of the same spec, asserting the warm path does zero engine
 work.  CI runs this after the pytest-benchmark suite; the committed
 BENCH_pipeline.json seeds the repo's recorded perf baseline.
 
+Also times a seed-sweep measurement workload under both ``REPRO_MEASURE``
+modes (the batched path pays the driver JIT, interpreter profile, and cost
+model once per unit instead of once per seed), asserts bit-identical
+reports, and gates the batched speedup at ``--min-measure-speedup``.
+
 Usage:
     PYTHONPATH=src python tools/bench_pipeline.py [--out BENCH_pipeline.json]
         [--min-speedup 3.0] [--corpus-shaders 8] [--repeats 3]
-        [--service-shaders 2]
+        [--service-shaders 2] [--min-measure-speedup 3.0]
+        [--measure-shaders 0] [--measure-seeds 8]
 """
 
 from __future__ import annotations
@@ -61,6 +67,54 @@ def bench_shader(source: str, repeats: int) -> dict:
         "trie_merges": walk.stats.merges,
         "naive_pass_runs": 1024,   # sum of popcounts over 256 combinations
         "naive_emits": 256,
+    }
+
+
+def bench_measurement(max_shaders: int, seed_count: int, repeats: int) -> dict:
+    """Seed-sweep measurement: scalar reference vs seed-batched mode.
+
+    Every (shader, platform) unit of the study corpus (``max_shaders=0``
+    means the whole default corpus — the study's real workload) is
+    measured under *seed_count* seeds, the paper's repeated-runs protocol.
+    The scalar mode reruns the whole pipeline per seed; the batched mode
+    prepares each unit once (memoized JIT, lane-batched interpreter
+    profile, one cost estimate) and repeats only the seed-dependent timer
+    protocol.  Both front-end memos are dropped before every timed sweep
+    so each mode starts cold, and the report streams are checked
+    bit-identical before any number is kept.
+    """
+    from repro.gpu.jit import clear_frontend_memo
+    from repro.gpu.platform import all_platforms
+    from repro.harness.environment import ShaderExecutionEnvironment
+
+    corpus = default_corpus(max_shaders=max_shaders or None)
+    platforms = all_platforms()
+    seeds = list(range(seed_count))
+    units = [(case, platform) for case in corpus for platform in platforms]
+
+    def sweep(mode):
+        clear_frontend_memo()
+        reports = []
+        for case, platform in units:
+            env = ShaderExecutionEnvironment(platform)
+            reports.append(env.run_many(case.source, seeds, mode=mode))
+        return reports
+
+    scalar_s, scalar_reports = _best_of(repeats, lambda: sweep("scalar"))
+    batched_s, batched_reports = _best_of(repeats, lambda: sweep("batched"))
+    for unit_scalar, unit_batched in zip(scalar_reports, batched_reports):
+        for a, b in zip(unit_scalar, unit_batched):
+            if (a.measurement != b.measurement or a.cost != b.cost
+                    or a.true_ns != b.true_ns):
+                raise SystemExit("FATAL: batched measurement is not "
+                                 "bit-identical to scalar")
+    return {
+        "shaders": len(corpus),
+        "platforms": len(platforms),
+        "seeds_per_unit": seed_count,
+        "scalar_seconds": round(scalar_s, 6),
+        "batched_seconds": round(batched_s, 6),
+        "speedup": round(scalar_s / batched_s, 2),
     }
 
 
@@ -119,6 +173,10 @@ def main(argv=None) -> int:
     parser.add_argument("--corpus-shaders", type=int, default=8)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--service-shaders", type=int, default=2)
+    parser.add_argument("--min-measure-speedup", type=float, default=3.0)
+    parser.add_argument("--measure-shaders", type=int, default=0,
+                        help="0 = the whole default corpus")
+    parser.add_argument("--measure-seeds", type=int, default=8)
     args = parser.parse_args(argv)
 
     motivating = bench_shader(MOTIVATING_SHADER, args.repeats)
@@ -142,6 +200,8 @@ def main(argv=None) -> int:
             "trie_seconds": round(trie_total, 6),
             "speedup": round(naive_total / trie_total, 2),
         },
+        "measurement_batching": bench_measurement(
+            args.measure_shaders, args.measure_seeds, args.repeats),
         "service_warm_resubmit": bench_service(args.service_shaders),
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
@@ -153,6 +213,11 @@ def main(argv=None) -> int:
           f"{motivating['trie_emits']} vs 256 emissions)")
     print(f"corpus x{len(corpus)}: naive {naive_total:.2f}s, "
           f"trie {trie_total:.2f}s -> {naive_total / trie_total:.1f}x")
+    measure = payload["measurement_batching"]
+    print(f"measurement x{measure['shaders']} shaders x"
+          f"{measure['platforms']} platforms x{measure['seeds_per_unit']} "
+          f"seeds: scalar {measure['scalar_seconds']:.2f}s, batched "
+          f"{measure['batched_seconds']:.2f}s -> {measure['speedup']:.1f}x")
     service = payload["service_warm_resubmit"]
     print(f"service x{service['shaders']}: cold {service['cold_seconds']:.2f}s, "
           f"warm resubmit {service['warm_seconds']:.3f}s -> "
@@ -161,6 +226,10 @@ def main(argv=None) -> int:
     if speedup < args.min_speedup:
         print(f"FAIL: speedup {speedup:.2f}x below the "
               f"{args.min_speedup:.1f}x floor", file=sys.stderr)
+        return 1
+    if measure["speedup"] < args.min_measure_speedup:
+        print(f"FAIL: measurement speedup {measure['speedup']:.2f}x below "
+              f"the {args.min_measure_speedup:.1f}x floor", file=sys.stderr)
         return 1
     return 0
 
