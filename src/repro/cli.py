@@ -14,6 +14,10 @@ Commands mirror the paper's workflow:
 - ``merge-results`` — reassemble ``--shard`` study runs (and their caches)
                   into one complete study, byte-identical to an unsharded
                   run.
+- ``dispatch``  — the fault-tolerant one-command version of the shard
+                  workflow: fan the corpus out over supervised workers,
+                  retry/resume failures, and auto-merge (see
+                  ``docs/dispatch.md``).
 - ``serve``     — run the long-running study service: a job queue, a worker
                   pool, and one process-wide warm result cache shared across
                   every submitted job (see ``docs/service.md``).
@@ -128,7 +132,32 @@ def _synth_corpus(args: argparse.Namespace):
     return corpus_spec_from_args(args).build()
 
 
+class _Terminated(Exception):
+    """Raised by a SIGTERM handler to unwind to a graceful exit."""
+
+
+def _on_signals(callback, *signums) -> bool:
+    """Install *callback* as the handler for *signums* (main thread only).
+
+    Signal handlers can only be installed from the main thread; tests and
+    library callers driving commands from worker threads simply run
+    without one.  Returns True when installed.
+    """
+    import signal
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        return False
+    for signum in signums:
+        signal.signal(signum, lambda _signum, _frame: callback())
+    return True
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.dispatch import fault_from_env, write_study_output
+
     shard = None
     if args.shard:
         try:
@@ -138,11 +167,33 @@ def _cmd_study(args: argparse.Namespace) -> int:
         if not args.output:
             print("note: --shard without --output; the shard result is "
                   "needed by `repro merge-results`", file=sys.stderr)
+    try:
+        # Resolved before the work: a bad injection directive must fail
+        # loudly up front, not after minutes of measuring.
+        fault = fault_from_env()
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
     corpus = _synth_corpus(args)
-    study = run_study(corpus, StudyConfig(
-        seed=args.seed, verbose=True, max_workers=args.jobs,
-        cache_path=args.cache or None, shard=shard,
-        checkpoint_every=args.checkpoint_every))
+    engine = EvaluationEngine(seed=args.seed,
+                              cache=ResultCache(args.cache or None))
+
+    def _terminate() -> None:
+        raise _Terminated()
+
+    _on_signals(_terminate, signal.SIGTERM)
+    try:
+        study = run_study(corpus, StudyConfig(
+            seed=args.seed, verbose=True, max_workers=args.jobs,
+            shard=shard, checkpoint_every=args.checkpoint_every,
+            heartbeat_path=args.heartbeat or None), engine=engine)
+    except _Terminated:
+        # Graceful drain for a dispatched worker: flush what we measured
+        # (the redo replays it warm), write no output (the shard stays
+        # re-queueable — the dispatcher retries it), and exit 0.
+        engine.cache.save()
+        print("repro study: terminated; result cache flushed, no output "
+              "written (the shard stays re-queueable)", file=sys.stderr)
+        return 0
     if shard is not None:
         print(f"\nshard {shard}: {len(study.shaders)} of {len(corpus)} "
               "cases (summaries cover this shard only)")
@@ -157,9 +208,69 @@ def _cmd_study(args: argparse.Namespace) -> int:
     print(render_table(["platform", "best static flags"], rows,
                        title="Best static flags (Table I)"))
     if args.output:
-        open(args.output, "w").write(study.to_json())
+        write_study_output(args.output, study.to_json(), fault=fault)
         print(f"\nstudy saved to {args.output}")
     return 0
+
+
+def _cmd_dispatch(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.dispatch import (
+        BackoffPolicy, FaultPlan, ShardDispatcher, SubprocessTransport,
+        ThreadTransport,
+    )
+
+    if args.shards < 1:
+        raise SystemExit(f"error: --shards must be >= 1, got {args.shards}")
+    spec = corpus_spec_from_args(args)
+    cases = spec.build()
+    if not cases:
+        raise SystemExit("error: the selected corpus is empty")
+    try:
+        faults = (FaultPlan.parse(args.inject) if args.inject
+                  else FaultPlan.from_env())
+        policy = BackoffPolicy(base=args.backoff_base, seed=args.seed,
+                               max_attempts=args.retries)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    if args.transport == "thread":
+        # One shared in-memory cache: a retried shard replays the work its
+        # failed attempt already measured as cache hits.
+        transport = ThreadTransport(cases, cache=ResultCache())
+    else:
+        transport = SubprocessTransport(spec)
+    dispatcher = ShardDispatcher(
+        cases=cases, shard_count=args.shards, transport=transport,
+        state_dir=args.dir, seed=args.seed, policy=policy,
+        timeout=args.timeout, heartbeat_timeout=args.heartbeat_timeout,
+        workers=args.workers, jobs=args.jobs, faults=faults,
+        output=args.output or None, fresh=args.fresh, verbose=True)
+    # SIGTERM/SIGINT wind the supervision loop down gracefully: in-flight
+    # shards are killed (and stay re-queueable), completed shards stay
+    # checkpointed, and the manifest records the interruption.
+    _on_signals(dispatcher.request_stop, signal.SIGTERM, signal.SIGINT)
+    report = dispatcher.run()
+
+    print(f"\ndispatch: {len(report.completed)}/{args.shards} shards "
+          f"complete ({len(report.resumed)} resumed from checkpoint, "
+          f"{report.retries} retries)")
+    print(f"manifest: {report.manifest_path}")
+    if report.complete:
+        print(f"merged study: {report.merged_path}")
+        return 0
+    if report.interrupted and not report.failed:
+        print("dispatch: interrupted — re-run the same command to resume "
+              "from the checkpoints", file=sys.stderr)
+        return 0
+    print(f"error: shards {report.missing_shards} missing after "
+          f"{report.retries} retries", file=sys.stderr)
+    for index in sorted(report.failed):
+        print(f"  shard {index}: {report.failed[index]}", file=sys.stderr)
+    if report.partial_path is not None:
+        print(f"partial merge (completed shards only): "
+              f"{report.partial_path}", file=sys.stderr)
+    return 1
 
 
 def _cmd_merge_results(args: argparse.Namespace) -> int:
@@ -323,6 +434,8 @@ def _default_socket() -> str:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
     from repro.service import StudyService, socket_available
 
     if not socket_available():
@@ -331,6 +444,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                            socket_path=args.socket or None,
                            cache_path=args.cache or None,
                            job_workers=args.job_workers)
+    # SIGTERM = graceful drain: wait() returns, the finally below stops the
+    # service (running jobs re-queue as pending, journal + cache flushed),
+    # and we exit 0 — what an init system or the chaos harness expects.
+    _on_signals(service.request_stop, signal.SIGTERM)
     service.start()
     print(f"repro serve: listening on {service.socket_path}")
     print(f"  journal: {service.journal.path} "
@@ -343,7 +460,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         service.wait()
     except KeyboardInterrupt:
-        print("\nrepro serve: interrupted, finishing in-flight jobs")
+        print("\nrepro serve: interrupted, draining "
+              "(running jobs re-queue as pending)")
     finally:
         service.stop()
     print("repro serve: stopped (pending jobs remain journalled)")
@@ -380,7 +498,7 @@ def _client_job_spec(args: argparse.Namespace):
     platforms = () if args.platform == "all" else (args.platform,)
     spec = JobSpec(source=source, corpus=corpus, strategy=args.strategy,
                    budget=args.budget, platforms=platforms, seed=args.seed,
-                   timeout=args.timeout)
+                   timeout=args.timeout, shards=args.shards)
     try:
         spec.validate()
     except ValueError as exc:
@@ -395,6 +513,17 @@ def _print_event(event: dict) -> None:
                          for name, pct in sorted(event["best_pct"].items()))
         print(f"[{event['position']}/{event['total']}] {event['name']}: "
               f"{event['variants']} variants; best {best}")
+    elif kind == "shard":
+        detail = f": {event['error']}" if event.get("error") else ""
+        if event.get("delay") is not None:
+            detail += f" (retry in {event['delay']}s)"
+        attempt = (f" attempt {event['attempt']}"
+                   if event.get("attempt") else "")
+        print(f"[shard {event['shard']}] {event['state']}{attempt}{detail}")
+    elif kind == "dispatch":
+        print(f"dispatch {event['state']}: {event['completed']} shards "
+              f"complete, missing {event['missing'] or 'none'} "
+              f"({event['retries']} retries)")
     elif kind == "platform":
         print(f"[{event['platform']}] best {event['best_flags']} "
               f"-> {event['best_pct']:+.2f}% "
@@ -542,7 +671,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint-every", type=int, default=0,
                    help="stream results: persist the cache and release "
                         "compiled variants every N cases (0 = off)")
+    p.add_argument("--heartbeat", default="",
+                   help="touch this file after every case — the liveness "
+                        "signal `repro dispatch` supervision watches")
     p.set_defaults(fn=_cmd_study)
+
+    p = sub.add_parser(
+        "dispatch",
+        help="fault-tolerant sharded study: supervise shard workers, "
+             "retry failures, resume from checkpoints, auto-merge")
+    _add_corpus_args(p)
+    p.add_argument("--shards", type=int, default=4,
+                   help="how many shards to stripe the corpus into "
+                        "(default: 4)")
+    p.add_argument("--seed", type=int, default=2018)
+    p.add_argument("--dir", default=".repro-dispatch",
+                   help="state directory: shard outputs, checkpoints, "
+                        "heartbeats, worker logs, manifest.json "
+                        "(default: .repro-dispatch)")
+    p.add_argument("--output", default="",
+                   help="write the merged StudyResult JSON here "
+                        "(default: <dir>/study.json); byte-identical to "
+                        "an unsharded `repro study`")
+    p.add_argument("--transport", default="subprocess",
+                   choices=["subprocess", "thread"],
+                   help="where shards run: `repro study` child processes "
+                        "(default) or in-process threads sharing one warm "
+                        "cache")
+    p.add_argument("--workers", type=int, default=2,
+                   help="shards in flight at once (default: 2)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="measurement worker processes inside each shard")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-shard wall-clock limit in seconds; an "
+                        "over-limit shard is killed and retried")
+    p.add_argument("--heartbeat-timeout", type=float, default=None,
+                   help="kill (and retry) a shard whose last heartbeat is "
+                        "older than this many seconds")
+    p.add_argument("--retries", type=int, default=3,
+                   help="max attempts per shard before it is declared "
+                        "missing (default: 3)")
+    p.add_argument("--backoff-base", type=float, default=0.5,
+                   help="first retry delay in seconds; doubles per attempt "
+                        "with deterministic seeded jitter (default: 0.5)")
+    p.add_argument("--inject", default="",
+                   help="fault-injection plan, e.g. "
+                        "'1:crash,2:hang@1,3:corrupt@*' (or $REPRO_FAULTS); "
+                        "see docs/dispatch.md")
+    p.add_argument("--fresh", action="store_true",
+                   help="ignore existing checkpoints and re-run every shard")
+    p.set_defaults(fn=_cmd_dispatch)
 
     p = sub.add_parser(
         "merge-results",
@@ -634,11 +812,15 @@ def build_parser() -> argparse.ArgumentParser:
                          "submit a corpus job)")
     _add_corpus_args(cp)
     cp.add_argument("--strategy", default="study",
-                    choices=["study"] + sorted(STRATEGIES),
+                    choices=["study", "dispatch"] + sorted(STRATEGIES),
                     help="'study' = the exhaustive per-variant study; "
+                         "'dispatch' = the same study sharded over the "
+                         "fault-tolerant dispatcher (needs --shards); "
                          "anything else = a budgeted flag-space search")
     cp.add_argument("--budget", type=int, default=64,
                     help="evaluation budget for search strategies")
+    cp.add_argument("--shards", type=int, default=0,
+                    help="shard fan-out for --strategy dispatch jobs")
     cp.add_argument("--platform", default="all",
                     help="Intel|AMD|NVIDIA|ARM|Qualcomm|all")
     cp.add_argument("--seed", type=int, default=2018)

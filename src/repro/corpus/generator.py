@@ -51,6 +51,24 @@ class CorpusSpec:
                 "synth_seed": self.synth_seed,
                 "synth_count": self.synth_count}
 
+    def to_cli_args(self) -> List[str]:
+        """This spec as the equivalent shared CLI corpus flags.
+
+        The inverse of ``corpus_spec_from_args``: the shard dispatcher's
+        subprocess transport ships the corpus to ``repro study`` workers
+        as these parameters (the corpus content is a pure function of
+        them), and shard-identity validation on the way back proves the
+        worker rebuilt the same corpus.
+        """
+        args: List[str] = []
+        if self.max_shaders:
+            args += ["--max-shaders", str(self.max_shaders)]
+        if self.synth_seed is not None:
+            args += ["--synth-seed", str(self.synth_seed)]
+        if self.synth_count:
+            args += ["--synth-count", str(self.synth_count)]
+        return args
+
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "CorpusSpec":
         """Rebuild a spec from :meth:`to_dict` output (extras rejected)."""

@@ -1,0 +1,72 @@
+"""Deterministic retry backoff for shard dispatch.
+
+Delays grow exponentially per attempt, capped, with *deterministic* jitter:
+the jitter fraction is derived by hashing ``(seed, shard index, attempt)``,
+so a given study seed always produces the same retry schedule — tests and
+CI chaos runs replay identically, and concurrent retrying shards still
+de-synchronize from each other (their indices differ).
+
+The policy is pure: it only *computes* delays.  Sleeping belongs to the
+dispatcher, which takes an injectable ``sleep``/``clock`` pair, so the unit
+tests drive the whole schedule against a fake clock without ever sleeping.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with seeded jitter and a bounded attempt budget.
+
+    ``max_attempts`` counts *launches*, not retries: 3 means one initial
+    attempt plus at most two retries.  ``jitter`` is the fraction of the
+    raw delay that the deterministic hash may subtract — 0.5 keeps every
+    delay within [50%, 100%] of the exponential curve.
+    """
+
+    base: float = 0.5
+    factor: float = 2.0
+    cap: float = 30.0
+    jitter: float = 0.5
+    max_attempts: int = 3
+    seed: int = 2018
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base < 0 or self.factor < 1 or self.cap < 0:
+            raise ValueError(
+                f"invalid backoff curve (base={self.base}, "
+                f"factor={self.factor}, cap={self.cap})")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, shard_index: int, attempt: int) -> float:
+        """Seconds to wait before relaunching *shard_index* after its
+        *attempt*-th launch (1-based) failed.
+
+        Pure and deterministic: the same ``(seed, shard, attempt)`` triple
+        always yields the same delay.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        raw = min(self.cap, self.base * self.factor ** (attempt - 1))
+        return raw * (1.0 - self.jitter * self._fraction(shard_index, attempt))
+
+    def allows(self, attempt: int) -> bool:
+        """Whether launching attempt number *attempt* is within budget."""
+        return attempt <= self.max_attempts
+
+    def schedule(self, shard_index: int) -> list:
+        """Every retry delay for one shard, in order — handy in tests."""
+        return [self.delay(shard_index, attempt)
+                for attempt in range(1, self.max_attempts)]
+
+    def _fraction(self, shard_index: int, attempt: int) -> float:
+        token = f"{self.seed}:{shard_index}:{attempt}".encode()
+        digest = hashlib.sha256(token).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0 ** 64

@@ -1,0 +1,264 @@
+"""Where a shard runs: the ``Transport`` interface and two implementations.
+
+A transport turns one :class:`ShardTask` into a running worker and hands
+back a :class:`ShardHandle` the dispatcher can poll, kill, and interrogate.
+The dispatcher never cares *where* the work happens:
+
+- :class:`ThreadTransport` runs ``run_study`` in an in-process daemon
+  thread.  Workers share one :class:`~repro.search.cache.ResultCache`
+  (when given one), so a retried shard replays its already-measured work
+  from the warm cache.  "Kill" is cooperative: the engine's per-thread
+  cancel hook aborts the shard at the next compile/measure boundary.
+- :class:`SubprocessTransport` launches ``repro study --shard I/N``
+  processes — real process isolation, real ``SIGKILL``, and the transport
+  the CI chaos job uses.  Worker stderr/stdout land in a per-launch log
+  file for post-mortems.
+
+Both write the shard's :class:`~repro.harness.results.StudyResult` JSON to
+``task.output`` through :func:`~repro.dispatch.faults.write_study_output`,
+which is where injected faults strike.  The interface deliberately leaves
+room for an SSH transport later: nothing in the dispatcher assumes the
+worker shares a filesystem beyond the output/heartbeat paths it is given.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.corpus import CorpusSpec
+from repro.dispatch.faults import (
+    InjectedFault, WORKER_ENV_VAR, write_study_output,
+)
+from repro.gpu.platform import Platform
+from repro.harness.results import ShaderCase
+from repro.harness.study import ShardSpec, StudyConfig, run_study
+from repro.search.cache import ResultCache
+from repro.search.engine import EvaluationEngine
+
+#: Exit code of a thread worker reaped after a kill request.
+ABORT_EXIT_CODE = 71
+
+
+class ShardAborted(Exception):
+    """Raised inside a thread worker when its handle was killed."""
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard launch: everything a worker needs to run and report."""
+
+    index: int                        # 1-based shard number
+    count: int                        # total shard count
+    seed: int                         # study measurement seed
+    output: Path                      # where the StudyResult JSON lands
+    heartbeat: Optional[Path] = None  # touched per case for liveness checks
+    log: Optional[Path] = None        # worker stdout/stderr (subprocess)
+    fault: Optional[str] = None       # injected fault kind, if any
+    jobs: Optional[int] = None        # per-shard worker processes
+
+    @property
+    def shard(self) -> ShardSpec:
+        """The task's slice of the corpus as a :class:`ShardSpec`."""
+        return ShardSpec(index=self.index, count=self.count)
+
+
+class ShardHandle:
+    """A launched worker the dispatcher can poll, kill, and describe."""
+
+    def poll(self) -> Optional[int]:
+        """The worker's exit code, or ``None`` while it is still running."""
+        raise NotImplementedError
+
+    def kill(self) -> None:
+        """Stop the worker (idempotent; best effort)."""
+        raise NotImplementedError
+
+    def error_detail(self) -> str:
+        """A short human-readable failure context ('' when none)."""
+        return ""
+
+
+class Transport:
+    """Launches shard workers somewhere; see the module docstring."""
+
+    #: short name used in logs and the dispatch manifest.
+    name = "abstract"
+
+    def launch(self, task: ShardTask) -> ShardHandle:
+        """Start one worker for *task* and return its handle."""
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# In-process threads
+# ---------------------------------------------------------------------------
+
+
+class _ThreadHandle(ShardHandle):
+    """Handle over a daemon worker thread (cooperative kill)."""
+
+    def __init__(self) -> None:
+        self.kill_event = threading.Event()
+        self._done = threading.Event()
+        self._exit_code: Optional[int] = None
+        self._error = ""
+
+    def finish(self, exit_code: int, error: str = "") -> None:
+        self._exit_code = exit_code
+        self._error = error
+        self._done.set()
+
+    def poll(self) -> Optional[int]:
+        return self._exit_code if self._done.is_set() else None
+
+    def kill(self) -> None:
+        self.kill_event.set()
+
+    def error_detail(self) -> str:
+        return self._error
+
+
+class ThreadTransport(Transport):
+    """Run shards as in-process threads over a shared warm cache."""
+
+    name = "thread"
+
+    def __init__(self, cases: Sequence[ShaderCase],
+                 platforms: Optional[Sequence[Platform]] = None,
+                 cache: Optional[ResultCache] = None):
+        self.cases = list(cases)
+        self.platforms = list(platforms) if platforms else None
+        self.cache = cache
+
+    def launch(self, task: ShardTask) -> ShardHandle:
+        handle = _ThreadHandle()
+        thread = threading.Thread(
+            target=self._run, args=(task, handle), daemon=True,
+            name=f"repro-dispatch-shard-{task.index}")
+        thread.start()
+        return handle
+
+    def _run(self, task: ShardTask, handle: _ThreadHandle) -> None:
+        try:
+            engine = EvaluationEngine(
+                platforms=self.platforms, seed=task.seed,
+                cache=self.cache if self.cache is not None else ResultCache())
+
+            def check() -> None:
+                if handle.kill_event.is_set():
+                    raise ShardAborted(f"shard {task.shard} killed")
+
+            # Thread-local install: concurrent shard threads sharing one
+            # engine each abort only themselves.
+            engine.set_cancel_check(check)
+            config = StudyConfig(
+                platforms=self.platforms, seed=task.seed, shard=task.shard,
+                heartbeat_path=(str(task.heartbeat)
+                                if task.heartbeat else None))
+            study = run_study(self.cases, config, engine=engine)
+            check()
+            write_study_output(task.output, study.to_json(),
+                               fault=task.fault,
+                               cancel_event=handle.kill_event)
+        except InjectedFault as exc:
+            handle.finish(70, str(exc))
+        except ShardAborted as exc:
+            handle.finish(ABORT_EXIT_CODE, str(exc))
+        except Exception as exc:  # noqa: BLE001 — worker errors are data
+            handle.finish(1, f"{type(exc).__name__}: {exc}")
+        else:
+            handle.finish(0)
+
+
+# ---------------------------------------------------------------------------
+# Subprocess workers
+# ---------------------------------------------------------------------------
+
+
+class _ProcessHandle(ShardHandle):
+    """Handle over a ``repro study`` child process."""
+
+    def __init__(self, proc: "subprocess.Popen[bytes]",
+                 log: Optional[Path]) -> None:
+        self.proc = proc
+        self.log = log
+
+    def poll(self) -> Optional[int]:
+        return self.proc.poll()
+
+    def kill(self) -> None:
+        try:
+            self.proc.kill()
+            self.proc.wait(timeout=5.0)
+        except (OSError, subprocess.TimeoutExpired):
+            pass
+
+    def error_detail(self) -> str:
+        if self.log is None:
+            return ""
+        try:
+            lines = self.log.read_text().strip().splitlines()
+        except OSError:
+            return ""
+        return lines[-1] if lines else ""
+
+
+class SubprocessTransport(Transport):
+    """Launch each shard as a ``repro study --shard I/N`` child process.
+
+    The corpus travels as its :class:`~repro.corpus.CorpusSpec` parameters
+    (the corpus content is a pure function of those), so the child rebuilds
+    the identical corpus and the dispatcher's content-hash validation of
+    the returned :class:`~repro.harness.results.ShardInfo` proves it did.
+    """
+
+    name = "subprocess"
+
+    def __init__(self, corpus_spec: CorpusSpec,
+                 python: Optional[str] = None):
+        self.corpus_spec = corpus_spec
+        self.python = python or sys.executable
+
+    def argv_for(self, task: ShardTask) -> List[str]:
+        """The child command line for *task* (exposed for tests/logs)."""
+        argv = [self.python, "-m", "repro", "study",
+                "--shard", str(task.shard),
+                "--seed", str(task.seed),
+                "--output", str(task.output)]
+        argv += self.corpus_spec.to_cli_args()
+        if task.heartbeat is not None:
+            argv += ["--heartbeat", str(task.heartbeat)]
+        if task.jobs and task.jobs > 1:
+            argv += ["--jobs", str(task.jobs)]
+        return argv
+
+    def launch(self, task: ShardTask) -> ShardHandle:
+        env = dict(os.environ)
+        env.pop(WORKER_ENV_VAR, None)
+        if task.fault:
+            env[WORKER_ENV_VAR] = task.fault
+        # Children must import repro even when it is not installed (tests
+        # run from a source tree via PYTHONPATH) — prepend our own package
+        # root rather than assuming the parent's environment carries it.
+        package_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH", "")
+        if package_root not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = (package_root + os.pathsep + existing
+                                 if existing else package_root)
+        if task.log is not None:
+            task.log.parent.mkdir(parents=True, exist_ok=True)
+            log_handle = open(task.log, "ab")
+        else:
+            log_handle = open(os.devnull, "ab")
+        try:
+            proc = subprocess.Popen(self.argv_for(task), stdout=log_handle,
+                                    stderr=subprocess.STDOUT, env=env)
+        finally:
+            log_handle.close()      # Popen dup'd the descriptor
+        return _ProcessHandle(proc, task.log)

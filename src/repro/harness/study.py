@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.pipeline import ShaderCompiler, VariantSet
@@ -128,6 +129,10 @@ class StudyConfig:
     #: finished case — the incremental-streaming hook the study service
     #: uses to publish per-case results while a job is still running.
     progress: Optional[Callable[[int, int, ShaderResult], None]] = None
+    #: when set, this file is touched at study start and after every
+    #: finished case — the liveness signal dispatch supervision watches: a
+    #: worker whose heartbeat goes stale is presumed hung and killed.
+    heartbeat_path: Optional[str] = None
 
 
 def run_study(corpus: Sequence[ShaderCase],
@@ -150,13 +155,13 @@ def run_study(corpus: Sequence[ShaderCase],
     case_indices = list(range(len(cases)))
     shard_info = None
     if config.shard is not None:
-        corpus_digest = _corpus_digest(cases)
+        full_digest = corpus_digest(cases)
         case_indices = config.shard.select(len(cases))
         cases = [cases[i] for i in case_indices]
         shard_info = ShardInfo(index=config.shard.index,
                                count=config.shard.count,
                                case_indices=list(case_indices),
-                               corpus_digest=corpus_digest)
+                               corpus_digest=full_digest)
         if config.verbose:
             print(f"[study] shard {config.shard}: {len(cases)} of "
                   f"{len(corpus)} cases")
@@ -170,6 +175,7 @@ def run_study(corpus: Sequence[ShaderCase],
 
     result = StudyResult(platforms=[p.name for p in platforms],
                          seed=config.seed, shard=shard_info)
+    _beat(config.heartbeat_path)
     position = 0
     for start in range(0, len(cases), chunk_size):
         chunk = cases[start:start + chunk_size]
@@ -189,6 +195,7 @@ def run_study(corpus: Sequence[ShaderCase],
                 _run_one(case, case_index, platforms, engine, config.seed))
             if config.progress is not None:
                 config.progress(position, len(cases), result.shaders[-1])
+            _beat(config.heartbeat_path)
             if config.checkpoint_every > 0:
                 engine.release_case(case.source)
                 if position % config.checkpoint_every == 0:
@@ -197,13 +204,26 @@ def run_study(corpus: Sequence[ShaderCase],
     return result
 
 
-def _corpus_digest(cases: Sequence[ShaderCase]) -> str:
+def corpus_digest(cases: Sequence[ShaderCase]) -> str:
     """Content hash of the whole corpus, in order — the identity shard
-    merging checks so shards from different corpora cannot be combined."""
+    merging checks so shards from different corpora cannot be combined.
+    The dispatcher reuses it as the shard checkpoint identity."""
     digest = hashlib.sha256()
     for case in cases:
         digest.update(source_digest(case.source).encode())
     return digest.hexdigest()
+
+
+def _beat(path: Optional[str]) -> None:
+    """Touch the heartbeat file (best effort — liveness reporting must
+    never kill the study it reports on)."""
+    if not path:
+        return
+    try:
+        Path(path).parent.mkdir(parents=True, exist_ok=True)
+        Path(path).touch()
+    except OSError:
+        pass
 
 
 def _run_one(case: ShaderCase, case_index: int, platforms: List[Platform],

@@ -28,12 +28,15 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 import threading
 from functools import lru_cache
 from pathlib import Path
 from typing import Dict, IO, Optional, Union
+
+logger = logging.getLogger("repro.search.cache")
 
 #: Bump when the cached payload layout or the key recipe changes.
 #: (Compiled variant sets are additive "variants:<digest>" entries, so
@@ -59,6 +62,12 @@ def make_key(source: str, flag_index: int, platform: str, seed: int) -> str:
     text (where the producing combination is irrelevant to the measurement).
     """
     return f"{source_digest(source)}:{flag_index}:{platform}:{seed}"
+
+
+def _value_digest(value: object) -> str:
+    """A short content digest of one cache value, for conflict reports."""
+    blob = json.dumps(value, sort_keys=True, default=repr).encode()
+    return hashlib.sha256(blob).hexdigest()[:12]
 
 
 class ResultCache:
@@ -211,12 +220,16 @@ class ResultCache:
     def _load_stream(self) -> None:
         """Replay a ``.jsonl`` store: a version header line, then one
         ``{"k":…,"v":…}`` record per line.  A torn final line (killed run)
-        is ignored; a wrong-version or unparsable header discards the file
-        (it is rewritten on the next append)."""
+        is ignored silently — that is the expected trace of a killed
+        writer; a corrupt line anywhere *else* is real damage, so it is
+        skipped with a logged warning while every intact record around it
+        still loads.  A wrong-version or unparsable header discards the
+        file (it is rewritten on the next append)."""
         try:
-            lines = self.path.read_text().splitlines()
+            text = self.path.read_text()
         except OSError:
             return
+        lines = text.splitlines()
         if not lines:
             return
         try:
@@ -226,12 +239,17 @@ class ResultCache:
         if not isinstance(header, dict) or header.get("version") != CACHE_VERSION:
             self._stream_rewrite = True
             return
-        for line in lines[1:]:
+        last = len(lines) - 1
+        torn_tail = not text.endswith("\n")
+        for index, line in enumerate(lines[1:], start=1):
             try:
                 record = json.loads(line)
                 self._entries[record["k"]] = record["v"]
             except (json.JSONDecodeError, KeyError, TypeError):
-                continue        # torn tail from a killed writer
+                if index == last and torn_tail:
+                    continue
+                logger.warning("%s: skipping corrupt record on line %d: %r",
+                               self.path, index + 1, line[:80])
 
     def _append_line(self, record: dict) -> None:
         if self.path is None:
@@ -267,6 +285,8 @@ class ResultCache:
         Conflicting values for the same key raise ``ValueError``: keys are
         content-addressed and measurement is deterministic, so two shard
         caches can only disagree through corruption or a version skew.
+        The error names the offending key and both value digests, so an
+        operator can grep each store for the damaged entry.
         """
         if not isinstance(other, ResultCache):
             other = ResultCache(other)
@@ -278,8 +298,10 @@ class ResultCache:
                     added += 1
                 elif mine != value:
                     raise ValueError(
-                        f"cache merge conflict on key {key!r}: "
-                        f"stores disagree")
+                        f"cache merge conflict on key {key!r}: this store "
+                        f"has value digest {_value_digest(mine)}, the "
+                        f"other {_value_digest(value)} — content-addressed "
+                        f"stores can only disagree through corruption")
                 self.put(key, value)
             return added
 

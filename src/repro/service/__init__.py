@@ -25,8 +25,8 @@ See ``docs/service.md`` for the protocol reference and operational notes.
 
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.jobs import (
-    CANCELLED, DONE, FAILED, Job, JobCancelled, JobSpec, PENDING, RUNNING,
-    STUDY_STRATEGY, TERMINAL_STATES,
+    CANCELLED, DISPATCH_STRATEGY, DONE, FAILED, Job, JobCancelled, JobSpec,
+    PENDING, RUNNING, STUDY_STRATEGY, TERMINAL_STATES,
 )
 from repro.service.journal import JobJournal
 from repro.service.queue import JobQueue, WorkerPool
@@ -35,7 +35,7 @@ from repro.service.server import StudyService, socket_available
 
 __all__ = [
     "ServiceClient", "ServiceError",
-    "Job", "JobSpec", "JobCancelled", "STUDY_STRATEGY",
+    "Job", "JobSpec", "JobCancelled", "STUDY_STRATEGY", "DISPATCH_STRATEGY",
     "PENDING", "RUNNING", "DONE", "FAILED", "CANCELLED", "TERMINAL_STATES",
     "JobJournal", "JobQueue", "WorkerPool", "JobRunner",
     "StudyService", "socket_available",

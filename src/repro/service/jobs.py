@@ -37,6 +37,11 @@ from repro.search.strategies import STRATEGIES
 #: protocol); every other valid name comes from ``repro.search.STRATEGIES``.
 STUDY_STRATEGY = "study"
 
+#: The strategy name selecting a fault-tolerant sharded study: the job
+#: fans out over ``shards`` dispatch workers (``repro.dispatch``) and
+#: auto-merges, instead of running the corpus as one serial sweep.
+DISPATCH_STRATEGY = "dispatch"
+
 #: Lifecycle states, in submission order of appearance.
 PENDING, RUNNING, DONE, FAILED, CANCELLED = (
     "pending", "running", "done", "failed", "cancelled")
@@ -75,18 +80,28 @@ class JobSpec:
     platforms: Tuple[str, ...] = ()
     seed: int = 2018
     timeout: Optional[float] = None
+    #: shard fan-out for ``dispatch`` jobs (must be 0 for anything else).
+    shards: int = 0
 
     def validate(self) -> None:
         """Raise ``ValueError`` on any inconsistency a client could send."""
         if (self.source is None) == (self.corpus is None):
             raise ValueError(
                 "a JobSpec needs exactly one of source= and corpus=")
-        if self.strategy != STUDY_STRATEGY and self.strategy not in STRATEGIES:
+        builtin = (STUDY_STRATEGY, DISPATCH_STRATEGY)
+        if self.strategy not in builtin and self.strategy not in STRATEGIES:
             raise ValueError(
-                f"unknown strategy {self.strategy!r}; choose "
-                f"{STUDY_STRATEGY!r} or one of {sorted(STRATEGIES)}")
-        if self.strategy != STUDY_STRATEGY and self.budget < 1:
+                f"unknown strategy {self.strategy!r}; choose one of "
+                f"{sorted(builtin)} or {sorted(STRATEGIES)}")
+        if self.strategy not in builtin and self.budget < 1:
             raise ValueError(f"budget must be >= 1, got {self.budget}")
+        if self.strategy == DISPATCH_STRATEGY:
+            if self.shards < 1:
+                raise ValueError(
+                    f"dispatch jobs need shards >= 1, got {self.shards}")
+        elif self.shards:
+            raise ValueError(
+                f"shards only applies to {DISPATCH_STRATEGY!r} jobs")
         for name in self.platforms:
             try:
                 platform_by_name(name)
@@ -131,10 +146,18 @@ class JobSpec:
             "corpus": None if self.corpus is None else self.corpus.to_dict(),
             "strategy": self.strategy,
             "budget": (self.budget
-                       if self.strategy != STUDY_STRATEGY else None),
+                       if self.strategy not in (STUDY_STRATEGY,
+                                                DISPATCH_STRATEGY)
+                       else None),
             "platforms": sorted(self.platforms),
             "seed": self.seed,
         }
+        if self.strategy == DISPATCH_STRATEGY:
+            # Shard fan-out changes how the work is *executed*, not what it
+            # measures, but a dispatch job's artifacts (per-shard results,
+            # manifest) depend on it — include it for dispatch jobs only so
+            # every pre-existing study/search digest is unchanged.
+            canonical["shards"] = self.shards
         blob = json.dumps(canonical, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()
 
@@ -148,6 +171,7 @@ class JobSpec:
             "platforms": list(self.platforms),
             "seed": self.seed,
             "timeout": self.timeout,
+            "shards": self.shards,
         }
 
     @classmethod
@@ -157,7 +181,7 @@ class JobSpec:
             raise ValueError(f"job spec must be an object, got "
                              f"{type(payload).__name__}")
         known = {"source", "corpus", "strategy", "budget", "platforms",
-                 "seed", "timeout"}
+                 "seed", "timeout", "shards"}
         unknown = set(payload) - known
         if unknown:
             raise ValueError(f"unknown JobSpec fields: {sorted(unknown)}")
@@ -171,6 +195,7 @@ class JobSpec:
             platforms=tuple(payload.get("platforms") or ()),
             seed=int(payload.get("seed", 2018)),
             timeout=None if timeout is None else float(timeout),
+            shards=int(payload.get("shards") or 0),
         )
         spec.validate()
         return spec

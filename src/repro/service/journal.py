@@ -21,10 +21,13 @@ Record shapes::
 from __future__ import annotations
 
 import json
+import logging
 import os
 import threading
 from pathlib import Path
 from typing import Dict, IO, List, Optional, Union
+
+logger = logging.getLogger("repro.service.journal")
 
 #: Bump when the record layout changes incompatibly.
 JOURNAL_VERSION = 1
@@ -106,13 +109,18 @@ class JobJournal:
     def replay(self) -> List[dict]:
         """Every intact record, in order (torn tail and garbage skipped).
 
-        A bad header marks the file for rewrite-on-next-append and replays
-        nothing, mirroring the result cache's version-skew behaviour.
+        A torn *final* line is the expected trace of a killed daemon and
+        is skipped silently; a corrupt line anywhere else is real damage,
+        so it is skipped with a logged warning — the intact records around
+        it still replay.  A bad header marks the file for rewrite-on-next-
+        append and replays nothing, mirroring the result cache's
+        version-skew behaviour.
         """
         try:
-            lines = self.path.read_text().splitlines()
+            text = self.path.read_text()
         except OSError:
             return []
+        lines = text.splitlines()
         if not lines:
             return []
         try:
@@ -124,11 +132,17 @@ class JobJournal:
             self._rewrite = True
             return []
         records = []
-        for line in lines[1:]:
+        last = len(lines) - 1
+        torn_tail = not text.endswith("\n")
+        for index, line in enumerate(lines[1:], start=1):
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
-                continue        # torn tail from a killed daemon
+                if not (index == last and torn_tail):
+                    logger.warning(
+                        "%s: skipping corrupt record on line %d: %r",
+                        self.path, index + 1, line[:80])
+                continue
             if isinstance(record, dict) and "t" in record and "id" in record:
                 records.append(record)
         return records

@@ -30,7 +30,9 @@ from repro.search.cache import ResultCache
 from repro.search.engine import EvaluationEngine
 from repro.search.scheduler import Scheduler
 from repro.search.strategies import make_strategy
-from repro.service.jobs import Job, JobCancelled, STUDY_STRATEGY
+from repro.service.jobs import (
+    DISPATCH_STRATEGY, Job, JobCancelled, STUDY_STRATEGY,
+)
 
 #: ``publish(event_dict)`` — the streaming sink a job's events land in.
 Publish = Callable[[dict], None]
@@ -103,6 +105,8 @@ class JobRunner:
         try:
             if spec.strategy == STUDY_STRATEGY:
                 return self._run_study(job, engine, check, publish)
+            if spec.strategy == DISPATCH_STRATEGY:
+                return self._run_dispatch(job, check, publish)
             return self._run_search(job, engine, publish)
         finally:
             engine.set_cancel_check(None)
@@ -156,6 +160,50 @@ class JobRunner:
                 for row in average_speedups(study)],
             "best_static_flags": {
                 name: str(best_static_flags(study, name)) for name in names},
+        }
+
+    def _run_dispatch(self, job: Job, check: Callable[[], None],
+                      publish: Publish) -> dict:
+        """A fault-tolerant sharded study (``repro.dispatch``) as a job.
+
+        Shards run on the in-process thread transport sharing the
+        process-wide warm cache, so a retried shard — or a resubmitted
+        dispatch job — replays its already-measured work as cache hits.
+        The job's cooperative cancel/timeout check is wired into the
+        supervision loop, which kills in-flight shards on cancellation.
+        """
+        from repro.dispatch import ShardDispatcher, ThreadTransport
+
+        spec = job.spec
+        cases = spec.cases()
+        if self.results_dir is None:
+            raise ValueError("dispatch jobs need a service results_dir "
+                             "for their shard state")
+        state_dir = self.results_dir / f"{job.id}.dispatch"
+        transport = ThreadTransport(cases,
+                                    platforms=spec.resolve_platforms(),
+                                    cache=self.cache)
+        dispatcher = ShardDispatcher(
+            cases=cases, shard_count=spec.shards, transport=transport,
+            state_dir=state_dir, seed=spec.seed,
+            output=self.results_dir / f"{job.id}.study.json",
+            workers=max(1, self.job_workers), cancel_check=check,
+            events=lambda event: publish(dict(event)))
+        report = dispatcher.run()
+        if not report.complete:
+            raise RuntimeError(
+                f"dispatch incomplete: missing shards "
+                f"{report.missing_shards} after {report.retries} retries "
+                f"(manifest: {report.manifest_path})")
+        job.result_path = str(report.merged_path)
+        return {
+            "kind": "dispatch",
+            "shards": spec.shards,
+            "cases": len(cases),
+            "retries": report.retries,
+            "resumed": sorted(report.resumed),
+            "result_path": job.result_path,
+            "manifest_path": str(report.manifest_path),
         }
 
     def _run_search(self, job: Job, engine: EvaluationEngine,

@@ -95,6 +95,7 @@ class StudyService:
         self._server: Optional[_SocketServer] = None
         self._server_thread: Optional[threading.Thread] = None
         self._shutdown = threading.Event()
+        self._draining = False
         self._started = False
 
     # ------------------------------------------------------------------
@@ -124,8 +125,24 @@ class StudyService:
         while not self._shutdown.wait(timeout=0.2):
             pass
 
-    def stop(self) -> None:
-        """Graceful stop: finish in-flight jobs, checkpoint, unbind."""
+    def request_stop(self) -> None:
+        """Ask the service to stop (async-signal safe: only sets an event).
+
+        This is what the ``repro serve`` SIGTERM handler calls — the
+        blocked :meth:`wait` returns and the CLI's ``finally`` performs
+        the actual :meth:`stop`, flushing journal and cache and exiting 0.
+        """
+        self._shutdown.set()
+
+    def stop(self, requeue_running: bool = True) -> None:
+        """Graceful stop: drain workers, checkpoint, unbind.
+
+        With ``requeue_running`` (the default), jobs still running are
+        cooperatively aborted at their next compile/measure boundary and
+        journalled back to ``pending`` — explicitly re-queueable, so a
+        restarted daemon resumes them warm instead of recording a spurious
+        ``cancelled``/``failed`` terminal state for work nobody cancelled.
+        """
         self._shutdown.set()
         if self._server is not None:
             self._server.shutdown()
@@ -134,7 +151,13 @@ class StudyService:
         if self._server_thread is not None:
             self._server_thread.join(timeout=5.0)
             self._server_thread = None
+        if requeue_running:
+            self._draining = True
+            for job in self.queue.all_jobs():
+                if job.state == RUNNING:
+                    job.cancel_event.set()
         self.pool.stop()
+        self._draining = False
         self.cache.flush()
         self.journal.flush()
         self.journal.close()
@@ -193,8 +216,17 @@ class StudyService:
         try:
             summary = self.runner.run(job, lambda e: self._publish(job, e))
         except JobCancelled as exc:
-            state = FAILED if exc.timed_out else CANCELLED
-            job.error = exc.reason
+            if exc.timed_out:
+                state = FAILED
+                job.error = exc.reason
+            elif self._draining:
+                # A graceful shutdown aborted this job, not a client: it
+                # goes back to pending (re-queueable), and its partial
+                # work is already in the shared cache for the redo.
+                state = PENDING
+            else:
+                state = CANCELLED
+                job.error = exc.reason
         except Exception as exc:  # noqa: BLE001 — job errors are data
             state = FAILED
             job.error = f"{type(exc).__name__}: {exc}"

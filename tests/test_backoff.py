@@ -1,0 +1,141 @@
+"""The dispatch backoff policy: pure, deterministic, and fake-clock-driven.
+
+None of these tests sleep: the policy only computes delays, and the
+dispatcher test injects a fake clock/sleep pair, so the whole retry
+schedule replays in microseconds.
+"""
+
+import time
+
+import pytest
+
+from repro.dispatch import BackoffPolicy, ShardDispatcher
+from repro.dispatch.transport import ShardHandle, Transport
+
+
+# ---------------------------------------------------------------------------
+# The pure policy
+# ---------------------------------------------------------------------------
+
+
+def test_delay_is_deterministic_per_seed_shard_attempt():
+    policy = BackoffPolicy(seed=2018)
+    assert policy.delay(1, 1) == policy.delay(1, 1)
+    assert BackoffPolicy(seed=2018).delay(3, 2) == policy.delay(3, 2)
+    # The jitter hash keys on the study seed: a different seed reshuffles
+    # the whole schedule.
+    assert BackoffPolicy(seed=1).delay(1, 1) != BackoffPolicy(seed=2).delay(1, 1)
+    # …and on the shard index, so concurrent retries de-synchronize.
+    assert policy.delay(1, 1) != policy.delay(2, 1)
+
+
+def test_delay_follows_the_exponential_curve_within_jitter():
+    policy = BackoffPolicy(base=0.5, factor=2.0, cap=30.0, jitter=0.5, seed=9,
+                           max_attempts=10)
+    for shard in (1, 2, 3):
+        for attempt in (1, 2, 3, 4):
+            raw = min(30.0, 0.5 * 2.0 ** (attempt - 1))
+            delay = policy.delay(shard, attempt)
+            assert raw * 0.5 <= delay <= raw
+
+
+def test_delay_caps():
+    policy = BackoffPolicy(base=1.0, factor=10.0, cap=5.0, jitter=0.0,
+                           max_attempts=10)
+    assert policy.delay(1, 1) == 1.0
+    assert policy.delay(1, 2) == 5.0        # 10.0 capped
+    assert policy.delay(1, 9) == 5.0
+
+
+def test_allows_caps_attempts():
+    policy = BackoffPolicy(max_attempts=3)
+    assert policy.allows(1) and policy.allows(3)
+    assert not policy.allows(4)
+    assert len(policy.schedule(1)) == 2     # one initial + two retries
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError, match="max_attempts"):
+        BackoffPolicy(max_attempts=0)
+    with pytest.raises(ValueError, match="jitter"):
+        BackoffPolicy(jitter=1.5)
+    with pytest.raises(ValueError, match="backoff curve"):
+        BackoffPolicy(factor=0.5)
+    with pytest.raises(ValueError, match="1-based"):
+        BackoffPolicy().delay(1, 0)
+
+
+# ---------------------------------------------------------------------------
+# The dispatcher drives the schedule against a fake clock
+# ---------------------------------------------------------------------------
+
+
+class FakeClock:
+    """A monotonic clock whose only driver is the injected sleep."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class _FailingHandle(ShardHandle):
+    def poll(self):
+        return 1
+
+    def kill(self) -> None:
+        pass
+
+
+class AlwaysFailTransport(Transport):
+    """Every launch dies instantly; records (shard, fake time) per launch."""
+
+    name = "always-fail"
+
+    def __init__(self, clock: FakeClock):
+        self.clock = clock
+        self.launches = []
+
+    def launch(self, task):
+        self.launches.append((task.index, self.clock.now))
+        return _FailingHandle()
+
+
+def test_dispatcher_replays_the_policy_schedule_without_sleeping(tmp_path):
+    from repro.harness.results import ShaderCase
+
+    clock = FakeClock()
+    transport = AlwaysFailTransport(clock)
+    policy = BackoffPolicy(base=10.0, factor=2.0, jitter=0.5, seed=9,
+                           max_attempts=3)
+    cases = [ShaderCase(name="t", family="t",
+                        source="void main() { gl_FragColor = vec4(1.0); }")]
+    dispatcher = ShardDispatcher(
+        cases=cases, shard_count=2, transport=transport,
+        state_dir=tmp_path / "state", seed=9, policy=policy, workers=2,
+        poll_interval=0.5, clock=clock, sleep=clock.sleep)
+
+    wall_start = time.perf_counter()
+    report = dispatcher.run()
+    assert time.perf_counter() - wall_start < 2.0   # fake time only
+
+    assert sorted(report.failed) == [1, 2]
+    assert report.attempts == {1: 3, 2: 3}
+    assert report.retries == 4                      # 2 retries per shard
+    assert not report.complete
+
+    # Each relaunch lands at (or just past, by poll granularity) the
+    # deterministic due time the policy computed.
+    for shard in (1, 2):
+        times = [at for index, at in transport.launches if index == shard]
+        assert len(times) == 3
+        for attempt, (prev, later) in enumerate(zip(times, times[1:]),
+                                                start=1):
+            due = prev + policy.delay(shard, attempt)
+            assert due <= later <= due + 3 * 0.5 + 1e-9
+    # The fake clock really advanced through the backoff waits.
+    assert clock.now >= max(sum(policy.schedule(shard)) for shard in (1, 2))

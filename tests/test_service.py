@@ -101,6 +101,22 @@ def test_job_spec_round_trips_and_validates():
         JobSpec.from_dict({"source": TINY_SHADER, "bogus": 1})
 
 
+def test_dispatch_job_spec_validation():
+    spec = JobSpec(corpus=CorpusSpec(max_shaders=3), strategy="dispatch",
+                   shards=2)
+    spec.validate()
+    # Shard count is part of the work content for dispatch jobs ...
+    assert spec.digest() != JobSpec(corpus=CorpusSpec(max_shaders=3),
+                                    strategy="dispatch", shards=3).digest()
+    # ... and round-trips through the wire format.
+    assert JobSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+    with pytest.raises(ValueError, match="shards >= 1"):
+        JobSpec(corpus=CorpusSpec(max_shaders=3),
+                strategy="dispatch").validate()
+    with pytest.raises(ValueError, match="shards only applies"):
+        JobSpec(corpus=CorpusSpec(max_shaders=3), shards=2).validate()
+
+
 def test_corpus_spec_matches_cli_corpus_selection():
     """JobSpec corpora and the CLI flags build through the same helper."""
     import argparse
@@ -159,6 +175,40 @@ def test_journal_tolerates_truncated_tail(service_root):
     journal.record_state("a-1", "done")
     journal.close()
     assert JobJournal(path).replay_jobs()["a-1"]["state"] == "done"
+
+
+def test_journal_warns_on_interior_corruption(service_root, caplog):
+    """A corrupt record mid-journal (real damage, not a torn tail) is
+    skipped with a logged warning; the records around it still replay."""
+    path = service_root / "jobs.jsonl"
+    journal = JobJournal(path)
+    journal.record_submit("a-1", {"source": TINY_SHADER})
+    journal.record_state("a-1", "running")
+    journal.record_state("a-1", "done")
+    journal.close()
+
+    lines = path.read_text().splitlines()
+    lines[2] = "#### corrupted interior record ####"   # the 'running' line
+    path.write_text("\n".join(lines) + "\n")
+
+    with caplog.at_level("WARNING", logger="repro.service.journal"):
+        jobs = JobJournal(path).replay_jobs()
+    assert jobs["a-1"]["state"] == "done"              # neighbours survive
+    assert any("corrupt record on line 3" in rec.getMessage()
+               for rec in caplog.records)
+
+    # A torn tail alone stays silent — that is the expected kill trace.
+    torn = service_root / "torn-only.jsonl"
+    fresh = JobJournal(torn)
+    fresh.record_submit("b-1", {"source": TINY_SHADER})
+    fresh.close()
+    with open(torn, "a") as handle:
+        handle.write('{"t": "state", "id": "b-1"')
+    caplog.clear()
+    with caplog.at_level("WARNING", logger="repro.service.journal"):
+        jobs = JobJournal(torn).replay_jobs()
+    assert jobs["b-1"]["state"] == "pending"
+    assert not caplog.records
 
 
 def test_journal_discards_version_skew(service_root):
@@ -245,6 +295,28 @@ def test_search_strategy_job(service):
     assert status["state"] == "done"
     assert status["summary"]["kind"] == "search"
     assert status["summary"]["search"][0]["evaluated"] <= 9
+
+
+def test_dispatch_strategy_job_matches_unsharded_study(service):
+    """A dispatch job through the daemon: shards fan out on the warm-cache
+    thread transport, merge, and byte-match the unsharded study."""
+    from repro.harness.results import StudyResult
+    from repro.harness.study import StudyConfig, run_study
+
+    _, client = service
+    spec = JobSpec(corpus=CorpusSpec(max_shaders=3), strategy="dispatch",
+                   shards=2)
+    response = client.submit(spec)
+    events = list(client.follow(response["id"]))
+    assert any(e.get("type") == "shard" for e in events)
+    status = _wait_terminal(client, response["id"])
+    assert status["state"] == "done"
+    assert status["summary"]["kind"] == "dispatch"
+    assert status["summary"]["shards"] == 2
+    assert status["summary"]["retries"] == 0
+    merged = StudyResult.from_json(Path(status["result_path"]).read_text())
+    baseline = run_study(CorpusSpec(max_shaders=3).build(), StudyConfig())
+    assert merged.to_json() == baseline.to_json()
 
 
 def test_cancel_pending_job_never_runs(service_root):
@@ -373,6 +445,37 @@ def test_restart_after_completion_requeues_nothing(service_root):
 # ---------------------------------------------------------------------------
 # Shutdown
 # ---------------------------------------------------------------------------
+
+
+def test_graceful_stop_requeues_running_jobs(service_root):
+    """SIGTERM-style drain: stop() flushes state and journals an in-flight
+    job back to pending, so a restarted daemon picks it straight up."""
+    svc = StudyService(service_root, workers=1)
+    svc.start()
+    client = ServiceClient(svc.socket_path)
+    client.wait_ready()
+    # Enough cases that the job is still running when the stop lands.
+    response = client.submit(
+        JobSpec(corpus=CorpusSpec(max_shaders=6, synth_count=3)))
+    deadline = time.monotonic() + 60
+    while client.status(response["id"])["job"]["state"] != "running":
+        assert time.monotonic() < deadline
+        time.sleep(0.02)
+    svc.stop()                               # requeue_running defaults True
+
+    jobs = JobJournal(service_root / "jobs.jsonl").replay_jobs()
+    assert jobs[response["id"]]["state"] == "pending"
+    assert jobs[response["id"]]["error"] is None
+
+    second = StudyService(service_root, workers=1)
+    second.start()
+    try:
+        assert second.recovered_jobs == 1
+        client = ServiceClient(second.socket_path)
+        client.wait_ready()
+        assert _wait_terminal(client, response["id"])["state"] == "done"
+    finally:
+        second.stop()
 
 
 def test_client_shutdown_stops_the_wait_loop(service_root):

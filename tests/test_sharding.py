@@ -99,6 +99,26 @@ def test_merge_rejects_incomplete_and_mismatched_shards(whole_study):
         merge_study_results([])
 
 
+def test_partial_merge_relaxes_only_the_coverage_check():
+    """require_complete=False is the dispatcher's graceful-degradation
+    path: available shards merge, everything else still validates."""
+    p1 = run_study(_corpus(), StudyConfig(
+        platforms=[INTEL], seed=9, shard=ShardSpec(1, 3)))
+    p3 = run_study(_corpus(), StudyConfig(
+        platforms=[INTEL], seed=9, shard=ShardSpec(3, 3)))
+    partial = merge_study_results([p1, p3], require_complete=False)
+    assert len(partial.shaders) == len(p1.shaders) + len(p3.shaders)
+    # Global-index order is preserved across the gap.
+    full = run_study(_corpus(), StudyConfig(platforms=[INTEL], seed=9))
+    covered = sorted(ShardSpec(1, 3).select(len(_corpus()))
+                     + ShardSpec(3, 3).select(len(_corpus())))
+    expected = [full.shaders[i] for i in covered]
+    assert [s.name for s in partial.shaders] == [s.name for s in expected]
+    # Duplicates are still rejected even in partial mode.
+    with pytest.raises(ValueError, match="duplicate shard"):
+        merge_study_results([p1, p1], require_complete=False)
+
+
 def test_merge_rejects_shards_from_different_corpora():
     """Two shards over different --synth-seed corpora share names and
     indices but not content; the corpus digest must catch it."""
@@ -208,6 +228,60 @@ def test_cache_merge_from_unions_and_detects_conflicts(tmp_path):
     conflicting.put("k1", {"mean_ns": 999.0})
     with pytest.raises(ValueError, match="conflict"):
         merged.merge_from(conflicting)
+
+
+def test_cache_merge_conflict_names_key_and_both_digests(tmp_path):
+    """The conflict error must carry enough to debug the damaged store:
+    the offending key and a content digest of each side's value."""
+    import hashlib
+
+    mine = ResultCache()
+    mine.put("k-damaged", {"mean_ns": 1.0})
+    theirs = ResultCache()
+    theirs.put("k-damaged", {"mean_ns": 2.0})
+
+    def digest(value):
+        blob = json.dumps(value, sort_keys=True, default=repr).encode()
+        return hashlib.sha256(blob).hexdigest()[:12]
+
+    with pytest.raises(ValueError) as excinfo:
+        mine.merge_from(theirs)
+    message = str(excinfo.value)
+    assert "'k-damaged'" in message
+    assert digest({"mean_ns": 1.0}) in message
+    assert digest({"mean_ns": 2.0}) in message
+
+
+def test_jsonl_cache_warns_on_interior_corruption(tmp_path, caplog):
+    """A corrupt record *mid-file* (real damage, not a torn tail) is
+    skipped with a logged warning; everything around it still loads."""
+    path = tmp_path / "cache.jsonl"
+    cache = ResultCache(path)
+    cache.put("k1", {"mean_ns": 1.0})
+    cache.put("k2", {"mean_ns": 2.0})
+    cache.save()
+    lines = path.read_text().splitlines()
+    lines[2] = "#### corrupted interior record ####"         # damage k2
+    path.write_text("\n".join(lines) + "\n")
+
+    with caplog.at_level("WARNING", logger="repro.search.cache"):
+        reloaded = ResultCache(path)
+    assert reloaded.get("k1") == {"mean_ns": 1.0}
+    assert reloaded.get("k2") is None
+    assert any("corrupt record on line 3" in rec.getMessage()
+               for rec in caplog.records)
+
+    # The torn *tail* path stays silent — it is expected, not damage.
+    clean = tmp_path / "torn-only.jsonl"
+    torn_cache = ResultCache(clean)
+    torn_cache.put("k1", {"mean_ns": 1.0})
+    torn_cache.save()
+    with open(clean, "a") as handle:
+        handle.write('{"k": "k3", "v": {"mean')
+    caplog.clear()
+    with caplog.at_level("WARNING", logger="repro.search.cache"):
+        ResultCache(clean)
+    assert not caplog.records
 
 
 # ---------------------------------------------------------------------------
