@@ -24,10 +24,12 @@ from repro.ir.module import Module
 from repro.passes import OptimizationFlags, run_passes
 
 #: Environment switch for the variant-explosion strategy: ``trie`` (default,
-#: shared-prefix decision tree) or ``naive`` (256 independent pipeline runs,
-#: kept for A/B equivalence testing and benchmarking).
+#: per-shader shared-prefix decision tree), ``corpus`` (the same walk routed
+#: through the corpus-global state trie, :mod:`repro.core.corpus_trie`, which
+#: also reroutes the vendor JIT pipelines), or ``naive`` (256 independent
+#: pipeline runs, kept for A/B equivalence testing and benchmarking).
 COMPILE_MODE_ENV = "REPRO_COMPILE"
-_COMPILE_MODES = ("trie", "naive")
+_COMPILE_MODES = ("trie", "naive", "corpus")
 
 
 def compile_mode(explicit: Optional[str] = None) -> str:
@@ -68,17 +70,22 @@ class ShaderCompiler:
         return CompiledShader(source=self.source, flags=flags, module=module,
                               output=output, pass_stats=stats)
 
-    def all_variants(self, es: bool = False,
-                     mode: Optional[str] = None) -> "VariantSet":
+    def all_variants(self, es: bool = False, mode: Optional[str] = None,
+                     trie: Optional["CorpusTrie"] = None) -> "VariantSet":
         """Compile all 256 combinations and deduplicate the emitted text.
 
         The default ``trie`` mode walks the shared-prefix compilation trie
         (:class:`repro.core.trie.VariantTrie`): one pass application per
         distinct reachable IR state instead of a full pipeline run per
-        combination, with byte-identical output.  ``mode="naive"`` (or
-        ``REPRO_COMPILE=naive``) forces the brute-force path.
+        combination, with byte-identical output.  ``mode="corpus"`` (or
+        ``REPRO_COMPILE=corpus``) runs the same walk through the
+        corpus-global state trie (*trie*, defaulting to the process-wide
+        :func:`repro.core.corpus_trie.shared_corpus_trie`), sharing states
+        and emissions with every other shader and vendor pipeline in the
+        study.  ``mode="naive"`` forces the brute-force path.
         """
-        if compile_mode(mode) == "naive":
+        resolved = compile_mode(mode)
+        if resolved == "naive":
             by_text: Dict[str, List[OptimizationFlags]] = {}
             index_to_text: Dict[int, str] = {}
             for flags in OptimizationFlags.all_combinations():
@@ -86,9 +93,16 @@ class ShaderCompiler:
                 by_text.setdefault(compiled.output, []).append(flags)
                 index_to_text[flags.index] = compiled.output
             return VariantSet(by_text, index_to_text)
-        from repro.core.trie import VariantTrie
+        if resolved == "corpus":
+            from repro.core.corpus_trie import shared_corpus_trie
 
-        index_to_text = VariantTrie(self._module, es=es).compile()
+            if trie is None:  # not `or`: an empty trie is len()-falsy
+                trie = shared_corpus_trie()
+            index_to_text = trie.compile_variants(self._module, es=es)
+        else:
+            from repro.core.trie import VariantTrie
+
+            index_to_text = VariantTrie(self._module, es=es).compile()
         by_text = {}
         for index in range(256):
             text = index_to_text[index]

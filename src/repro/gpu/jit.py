@@ -15,6 +15,15 @@ vendor, so it is memoized per source text: a study measuring one variant on
 5 platforms parses it once and each vendor pipeline runs off a
 name-preserving clone (exactly equivalent to lowering fresh — see
 :mod:`repro.ir.clone`).
+
+Under ``REPRO_COMPILE=corpus`` each pipeline is additionally routed through
+the corpus-global state trie (:mod:`repro.core.corpus_trie`): every
+cleanup/unroll/pass step becomes a memoized trie edge, so the five vendors'
+overlapping pipelines — and the offline 256-variant walks, whose ``("pass",
+name)`` steps are literally the same edges — execute each step once per
+distinct IR state for the whole study.  The returned module is then an
+*interned shared* module; all consumers here (profiling, cost estimation,
+emission) only read, which the per-shader memo path already required.
 """
 
 from __future__ import annotations
@@ -83,6 +92,31 @@ _COMPILED_MEMO: "OrderedDict[Tuple[str, str], Module]" = OrderedDict()
 _COMPILED_MEMO_SIZE = 256
 _COMPILED_LOCK = threading.Lock()
 
+#: Pipeline steps (cleanup / unroll / safe pass) actually executed by the
+#: per-shader ``compile`` path.  The corpus-trie benchmark reads this as the
+#: unshared-JIT baseline; corpus-mode steps are counted by the trie instead.
+_JIT_STEPS = 0
+_JIT_STEPS_LOCK = threading.Lock()
+
+
+def jit_pipeline_steps() -> int:
+    """Steps executed by non-corpus ``VendorJIT.compile`` calls so far."""
+    with _JIT_STEPS_LOCK:
+        return _JIT_STEPS
+
+
+def reset_jit_pipeline_steps() -> None:
+    """Zero the step counter (benchmark bracketing)."""
+    global _JIT_STEPS
+    with _JIT_STEPS_LOCK:
+        _JIT_STEPS = 0
+
+
+def _count_jit_steps(steps: int) -> None:
+    global _JIT_STEPS
+    with _JIT_STEPS_LOCK:
+        _JIT_STEPS += steps
+
 
 @dataclass(frozen=True)
 class VendorJIT:
@@ -96,19 +130,55 @@ class VendorJIT:
     unroll_max_growth: int = 1024
 
     def compile(self, source: str) -> Module:
-        """Parse and optimize GLSL the way this vendor's driver would."""
+        """Parse and optimize GLSL the way this vendor's driver would.
+
+        Under ``REPRO_COMPILE=corpus`` the pipeline runs as corpus-trie
+        edges and the result is an interned **shared** module — callers
+        must treat it as immutable (every caller today only reads:
+        profiling, cost estimation, static cycle analysis).  In the other
+        modes the result is a private clone as before.
+        """
+        from repro.core.pipeline import compile_mode
+
+        if compile_mode() == "corpus":
+            return self._compile_shared(source)
         module = clone_module(shared_frontend(source), preserve_names=True)
         function = module.function
 
+        steps = 1
         run_cleanup(function)
         if self.unroll_max_trips > 0:
             unroll(function, max_trips=self.unroll_max_trips,
                    max_growth=self.unroll_max_growth)
             run_cleanup(function)
+            steps += 1
         for name in self.passes:
             _SAFE_PASSES[name](function)
             run_cleanup(function)
+            steps += 1
+        _count_jit_steps(steps)
         return module
+
+    def _compile_shared(self, source: str) -> Module:
+        """The ``REPRO_COMPILE=corpus`` pipeline: every step a trie edge.
+
+        Step keys line up with the offline walk on purpose: ``("pass",
+        "gvn")`` here and in :meth:`CorpusTrie.compile_variants` are the
+        same edge (``apply_flag_pass`` is exactly "safe pass + cleanup"),
+        so a vendor pipeline can serve states the offline walk produced
+        and vice versa.
+        """
+        from repro.core.corpus_trie import shared_corpus_trie
+
+        trie = shared_corpus_trie()
+        state = trie.intern(shared_frontend(source))
+        state = trie.apply(state, ("cleanup",))
+        if self.unroll_max_trips > 0:
+            state = trie.apply(state, ("unroll", self.unroll_max_trips,
+                                       self.unroll_max_growth))
+        for name in self.passes:
+            state = trie.apply(state, ("pass", name))
+        return state.module
 
     def compile_cached(self, source: str) -> Module:
         """Memoized :meth:`compile` for read-only consumers.

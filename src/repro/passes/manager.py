@@ -57,6 +57,11 @@ def run_cleanup(function) -> None:
     local_cse(function)
     trivial_dce(function)
     canonicalize(function)
+    # Invalidate any cached fingerprint: the constituent passes mutate
+    # blocks/instructions directly, below the Function-level mutators that
+    # bump the epoch themselves.  Unconditional (even when every pass was a
+    # no-op) — a spurious recompute is cheap, a stale digest is corruption.
+    function.touch()
 
 
 def apply_flag_pass(module: Module, name: str) -> int:
@@ -67,7 +72,7 @@ def apply_flag_pass(module: Module, name: str) -> int:
     if name not in _PASS_FN:
         raise KeyError(f"unknown flag pass {name!r}; have {PASS_ORDER}")
     changed = _PASS_FN[name](module.function)
-    run_cleanup(module.function)
+    run_cleanup(module.function)  # also bumps the fingerprint-cache epoch
     return changed
 
 

@@ -136,6 +136,9 @@ def test_compile_mode_resolution(monkeypatch):
     monkeypatch.setenv("REPRO_COMPILE", "naive")
     assert compile_mode() == "naive"
     assert compile_mode("trie") == "trie", "explicit arg beats the env"
+    monkeypatch.setenv("REPRO_COMPILE", "corpus")
+    assert compile_mode() == "corpus"
+    assert compile_mode("corpus") == "corpus"
     with pytest.raises(ValueError):
         compile_mode("zealous")
 

@@ -1,0 +1,272 @@
+"""The corpus-global trie's safety and sharing story.
+
+Differential suite: ``StudyResult`` bytes must be identical across
+``REPRO_COMPILE=naive|trie|corpus``, across ``--jobs {1,4}``, and across
+sharded-then-merged runs — sharing compilation states across shaders and
+vendor pipelines is an optimization, never an observable.
+
+Counter suite: the sharing must actually *happen* — corpus-mode runs serve
+pipeline steps from the edge memo (hits > 0) and intern strictly fewer
+states than the per-pipeline unshared accounting would create.
+"""
+
+import json
+
+import pytest
+
+from repro.core.corpus_trie import (
+    CorpusTrie, CorpusTrieStats, reset_shared_corpus_trie,
+    shared_corpus_trie,
+)
+from repro.core.pipeline import ShaderCompiler
+from repro.core.trie import VariantTrie
+from repro.corpus import MOTIVATING_SHADER, default_corpus
+from repro.gpu.jit import clear_frontend_memo
+from repro.gpu.platform import all_platforms
+from repro.harness.results import StudyResult, merge_study_results
+from repro.harness.study import ShardSpec, StudyConfig, run_study
+from repro.search.engine import EvaluationEngine
+
+
+@pytest.fixture(autouse=True)
+def _fresh_shared_state():
+    """Every test starts from a cold process-global trie and JIT memos."""
+    clear_frontend_memo()
+    reset_shared_corpus_trie()
+    yield
+    clear_frontend_memo()
+    reset_shared_corpus_trie()
+
+
+def _synth_slice(count=4):
+    cases = [case for case in default_corpus(synth_seed=7, synth_count=2)
+             if case.family.startswith("synth_")]
+    assert len(cases) >= count
+    return cases[:count]
+
+
+# ---------------------------------------------------------------------------
+# Differential: byte-identical StudyResult across modes x jobs x shards
+# ---------------------------------------------------------------------------
+
+
+def test_study_bytes_identical_across_modes_jobs_and_shards(monkeypatch):
+    corpus = _synth_slice(4)
+    platforms = all_platforms()[:2]
+
+    def study_json(mode, workers, shard=None):
+        monkeypatch.setenv("REPRO_COMPILE", mode)
+        clear_frontend_memo()
+        reset_shared_corpus_trie()
+        config = StudyConfig(platforms=platforms, max_workers=workers,
+                             shard=shard)
+        return run_study(corpus, config).to_json()
+
+    baseline = study_json("naive", 1)
+    assert study_json("trie", 1) == baseline
+    assert study_json("corpus", 1) == baseline
+    assert study_json("corpus", 4) == baseline
+
+    parts = [StudyResult.from_json(
+        study_json("corpus", 1, shard=ShardSpec.parse(f"{i}/2")))
+        for i in (1, 2)]
+    assert merge_study_results(parts).to_json() == baseline
+
+
+def test_streaming_cache_corpus_run_is_byte_identical(monkeypatch, tmp_path):
+    corpus = _synth_slice(2)
+    platforms = all_platforms()[:2]
+
+    monkeypatch.setenv("REPRO_COMPILE", "trie")
+    baseline = run_study(corpus, StudyConfig(platforms=platforms)).to_json()
+
+    monkeypatch.setenv("REPRO_COMPILE", "corpus")
+    clear_frontend_memo()
+    reset_shared_corpus_trie()
+    streamed = run_study(corpus, StudyConfig(
+        platforms=platforms, checkpoint_every=1,
+        cache_path=str(tmp_path / "study.jsonl"))).to_json()
+    assert streamed == baseline
+    # The streaming store persisted through the corpus-mode compile path.
+    assert (tmp_path / "study.jsonl").stat().st_size > 0
+
+
+# ---------------------------------------------------------------------------
+# Counters: cross-shader/cross-pipeline sharing actually occurs
+# ---------------------------------------------------------------------------
+
+
+def _unshared_state_count(corpus, platforms):
+    """States that per-pipeline isolation would create: per-case VariantTrie
+    walks plus one isolated JIT pipeline per (measured text, platform)."""
+    total = 0
+    for case in corpus:
+        compiler = ShaderCompiler(case.source)
+        walk = VariantTrie(compiler._module)
+        variants = walk.compile()
+        total += 1 + walk.stats.pass_runs  # root + one state per pass run
+        texts = sorted(set(variants.values())) + [case.source]
+        for _ in texts:
+            for platform in platforms:
+                steps = 1 + (1 if platform.jit.unroll_max_trips > 0 else 0) \
+                    + len(platform.jit.passes)
+                total += 1 + steps  # interned frontend root + one per step
+    return total
+
+
+def test_corpus_run_shares_states_across_pipelines(monkeypatch):
+    corpus = _synth_slice(3)
+    platforms = all_platforms()[:3]
+    unshared = _unshared_state_count(corpus, platforms)
+
+    monkeypatch.setenv("REPRO_COMPILE", "corpus")
+    clear_frontend_memo()
+    reset_shared_corpus_trie()
+    engine = EvaluationEngine(platforms=platforms)
+    run_study(corpus, StudyConfig(platforms=platforms), engine=engine)
+
+    stats = engine.corpus_stats
+    assert stats.hits > 0, "no pipeline step was ever shared"
+    assert stats.interned_states > 0
+    assert stats.interned_states < unshared, (
+        f"corpus trie interned {stats.interned_states} states; unshared "
+        f"per-pipeline compilation would have created {unshared}")
+    # The engine mirrors the counters (the observability surface).
+    assert engine.corpus_hit_count == stats.hits
+    assert engine.corpus_miss_count == stats.pass_runs
+    assert engine.corpus_state_count == stats.interned_states
+
+
+def test_vendor_pipelines_share_through_the_trie(monkeypatch):
+    monkeypatch.setenv("REPRO_COMPILE", "corpus")
+    platforms = all_platforms()
+    trie = shared_corpus_trie()
+
+    first = platforms[0].jit.compile(MOTIVATING_SHADER)
+    assert trie.stats.hits == 0
+    after_first = trie.stats.pass_runs
+    for platform in platforms[1:]:
+        platform.jit.compile(MOTIVATING_SHADER)
+    assert trie.stats.hits > 0, (
+        "vendor pipelines overlap (cleanup, gvn, div_to_mul) but nothing "
+        "was served from the edge memo")
+    assert trie.stats.pass_runs < after_first * len(platforms)
+
+    # Recompiling the first vendor is now pure memo traffic.
+    runs_before = trie.stats.pass_runs
+    again = platforms[0].jit.compile(MOTIVATING_SHADER)
+    assert trie.stats.pass_runs == runs_before
+    assert again is first, "fully-memoized pipeline must return the " \
+        "interned module"
+
+
+def test_offline_walk_and_jit_share_edges(monkeypatch):
+    monkeypatch.setenv("REPRO_COMPILE", "corpus")
+    trie = shared_corpus_trie()
+    compiler = ShaderCompiler(MOTIVATING_SHADER)
+    compiler.all_variants(mode="corpus", trie=trie)
+    hits_before = trie.stats.hits
+
+    # Intel's JIT applies cleanup + unroll + gvn + div_to_mul; its gvn /
+    # div_to_mul steps use the same ("pass", name) edge keys the offline
+    # walk just created, so at least one must be served from the memo.
+    intel = next(p for p in all_platforms() if "gvn" in p.jit.passes)
+    intel.jit.compile(MOTIVATING_SHADER)
+    assert trie.stats.hits > hits_before
+
+
+def test_trie_mode_keeps_the_shared_trie_cold(monkeypatch):
+    monkeypatch.setenv("REPRO_COMPILE", "trie")
+    for platform in all_platforms()[:2]:
+        platform.jit.compile(MOTIVATING_SHADER)
+    ShaderCompiler(MOTIVATING_SHADER).all_variants()
+    assert shared_corpus_trie().stats.as_dict() == \
+        CorpusTrieStats().as_dict()
+
+
+# ---------------------------------------------------------------------------
+# Trie mechanics: eviction, emit memo, stats merging
+# ---------------------------------------------------------------------------
+
+
+def test_eviction_recomputes_but_stays_byte_identical():
+    reference = VariantTrie(ShaderCompiler(MOTIVATING_SHADER)._module)
+    expected = reference.compile()
+
+    tiny = CorpusTrie(max_states=2)
+    first = tiny.compile_variants(ShaderCompiler(MOTIVATING_SHADER)._module)
+    second = tiny.compile_variants(ShaderCompiler(MOTIVATING_SHADER)._module)
+    assert first == expected
+    assert second == expected
+    assert tiny.stats.evictions > 0, "max_states=2 must evict on this walk"
+    assert len(tiny) <= 2
+
+
+def test_emit_memo_and_repeat_walk_are_fully_shared():
+    trie = CorpusTrie()
+    module = ShaderCompiler(MOTIVATING_SHADER)._module
+    trie.compile_variants(module)
+    runs, emits = trie.stats.pass_runs, trie.stats.emits
+    trie.compile_variants(module)
+    assert trie.stats.pass_runs == runs, "second walk re-ran a pass"
+    assert trie.stats.emits == emits, "second walk re-emitted"
+    assert trie.stats.emit_hits >= emits
+
+
+def test_max_states_validation():
+    with pytest.raises(ValueError):
+        CorpusTrie(max_states=0)
+
+
+def test_stats_merge_dicts_sums_counters():
+    a = {"hits": 3, "pass_runs": 5, "interned_states": 2, "emits": 1,
+         "emit_hits": 0, "evictions": 0, "mode": "corpus"}
+    b = {"hits": 4, "pass_runs": 1, "interned_states": 7, "emits": 2,
+         "emit_hits": 5, "evictions": 1}
+    merged = CorpusTrieStats.merge_dicts([a, b])
+    assert merged == {"hits": 7, "pass_runs": 6, "interned_states": 9,
+                      "emits": 3, "emit_hits": 5, "evictions": 1}
+
+
+# ---------------------------------------------------------------------------
+# CLI: --trie-stats plumbing end to end
+# ---------------------------------------------------------------------------
+
+
+def test_cli_trie_stats_roundtrip(monkeypatch, tmp_path, capsys):
+    from repro.cli import main
+
+    monkeypatch.setenv("REPRO_COMPILE", "corpus")
+    shard_args = []
+    for index in (1, 2):
+        out = tmp_path / f"shard{index}.json"
+        stats = tmp_path / f"shard{index}.stats.json"
+        assert main(["study", "--max-shaders", "2", "--shard", f"{index}/2",
+                     "--output", str(out), "--trie-stats", str(stats)]) == 0
+        clear_frontend_memo()
+        reset_shared_corpus_trie()
+        payload = json.loads(stats.read_text())
+        assert payload["mode"] == "corpus"
+        assert payload["pass_runs"] > 0
+        shard_args.append((out, stats))
+
+    merged = tmp_path / "merged.json"
+    merged_stats = tmp_path / "merged.stats.json"
+    assert main(["merge-results", str(shard_args[0][0]), str(shard_args[1][0]),
+                 "--output", str(merged),
+                 "--trie-stats", str(shard_args[0][1]), str(shard_args[1][1]),
+                 "--trie-stats-out", str(merged_stats)]) == 0
+    summed = json.loads(merged_stats.read_text())
+    parts = [json.loads(path.read_text()) for _, path in shard_args]
+    assert summed["pass_runs"] == sum(p["pass_runs"] for p in parts)
+    assert summed["hits"] == sum(p["hits"] for p in parts)
+    assert summed["mode"] == "corpus"
+
+
+def test_cli_trie_stats_flags_must_pair(tmp_path):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit, match="--trie-stats-out"):
+        main(["merge-results", "whatever.json",
+              "--output", str(tmp_path / "out.json"),
+              "--trie-stats", "a.json"])

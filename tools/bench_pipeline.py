@@ -15,11 +15,17 @@ modes (the batched path pays the driver JIT, interpreter profile, and cost
 model once per unit instead of once per seed), asserts bit-identical
 reports, and gates the batched speedup at ``--min-measure-speedup``.
 
+The corpus-trie section compares per-shader tries + isolated vendor JIT
+pipelines against one corpus-global trie on a synth corpus (work counted in
+pass runs + emissions, offline maps checked byte-identical) and gates the
+work ratio at ``--min-corpus-work-ratio``.
+
 Usage:
     PYTHONPATH=src python tools/bench_pipeline.py [--out BENCH_pipeline.json]
         [--min-speedup 3.0] [--corpus-shaders 8] [--repeats 3]
         [--service-shaders 2] [--min-measure-speedup 3.0]
         [--measure-shaders 0] [--measure-seeds 8]
+        [--corpus-trie-synth 8] [--min-corpus-work-ratio 1.5]
 """
 
 from __future__ import annotations
@@ -118,6 +124,95 @@ def bench_measurement(max_shaders: int, seed_count: int, repeats: int) -> dict:
     }
 
 
+def bench_corpus_trie(synth_count: int, repeats: int) -> dict:
+    """Per-shader tries + isolated vendor JITs vs one corpus-global trie.
+
+    Work unit = pass runs + emissions.  The baseline walks each synth
+    shader's own ``VariantTrie`` and then compiles every measured text
+    (unique variants + the original source) through every vendor JIT in
+    isolation, counting the JIT pipeline steps actually executed.  The
+    corpus mode routes the same workload — offline walks *and* vendor
+    pipelines — through one shared :class:`CorpusTrie`, where overlapping
+    vendor pass prefixes and repeated texts become edge-memo hits instead
+    of recomputation.  Offline variant maps are checked byte-identical
+    between the modes before any number is kept.
+    """
+    import os
+
+    from repro.core.corpus_trie import (
+        reset_shared_corpus_trie, shared_corpus_trie,
+    )
+    from repro.gpu.jit import (
+        clear_frontend_memo, jit_pipeline_steps, reset_jit_pipeline_steps,
+    )
+    from repro.gpu.platform import all_platforms
+
+    cases = [case
+             for case in default_corpus(synth_seed=2018,
+                                        synth_count=synth_count)
+             if case.family.startswith("synth_")]
+    platforms = all_platforms()
+
+    def run_mode(mode):
+        os.environ["REPRO_COMPILE"] = mode
+        clear_frontend_memo()
+        reset_jit_pipeline_steps()
+        reset_shared_corpus_trie()
+        texts = {}
+        offline_work = 0
+        for case in cases:
+            compiler = ShaderCompiler(case.source)
+            if mode == "corpus":
+                variants = compiler.all_variants()
+                index_to_text = variants.index_to_text
+            else:
+                walk = VariantTrie(compiler._module)
+                index_to_text = walk.compile()
+                offline_work += walk.stats.pass_runs + walk.stats.emits
+            texts[case.name] = index_to_text
+            measured = sorted(set(index_to_text.values())) + [case.source]
+            for text in measured:
+                for platform in platforms:
+                    platform.jit.compile(text)
+        if mode == "corpus":
+            stats = shared_corpus_trie().stats
+            work = stats.pass_runs + stats.emits
+            counters = stats.as_dict()
+        else:
+            work = offline_work + jit_pipeline_steps()
+            counters = None
+        return texts, work, counters
+
+    previous = os.environ.get("REPRO_COMPILE")
+    try:
+        baseline_s, (baseline_texts, baseline_work, _) = _best_of(
+            repeats, lambda: run_mode("trie"))
+        corpus_s, (corpus_texts, corpus_work, counters) = _best_of(
+            repeats, lambda: run_mode("corpus"))
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_COMPILE", None)
+        else:
+            os.environ["REPRO_COMPILE"] = previous
+        clear_frontend_memo()
+        reset_shared_corpus_trie()
+    if corpus_texts != baseline_texts:
+        raise SystemExit("FATAL: corpus-trie variants are not byte-identical "
+                         "to the per-shader trie")
+    return {
+        "shaders": len(cases),
+        "platforms": len(platforms),
+        "baseline_work": baseline_work,
+        "corpus_work": corpus_work,
+        "work_ratio": round(baseline_work / corpus_work, 2),
+        "step_hits": counters["hits"],
+        "emit_hits": counters["emit_hits"],
+        "interned_states": counters["interned_states"],
+        "baseline_seconds": round(baseline_s, 6),
+        "corpus_seconds": round(corpus_s, 6),
+    }
+
+
 def bench_service(max_shaders: int) -> dict:
     """Cold submit vs warm resubmit of one corpus study through the service.
 
@@ -177,6 +272,9 @@ def main(argv=None) -> int:
     parser.add_argument("--measure-shaders", type=int, default=0,
                         help="0 = the whole default corpus")
     parser.add_argument("--measure-seeds", type=int, default=8)
+    parser.add_argument("--corpus-trie-synth", type=int, default=8,
+                        help="synth families per generator seed")
+    parser.add_argument("--min-corpus-work-ratio", type=float, default=1.5)
     args = parser.parse_args(argv)
 
     motivating = bench_shader(MOTIVATING_SHADER, args.repeats)
@@ -202,6 +300,7 @@ def main(argv=None) -> int:
         },
         "measurement_batching": bench_measurement(
             args.measure_shaders, args.measure_seeds, args.repeats),
+        "corpus_trie": bench_corpus_trie(args.corpus_trie_synth, 1),
         "service_warm_resubmit": bench_service(args.service_shaders),
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
@@ -218,6 +317,14 @@ def main(argv=None) -> int:
           f"{measure['platforms']} platforms x{measure['seeds_per_unit']} "
           f"seeds: scalar {measure['scalar_seconds']:.2f}s, batched "
           f"{measure['batched_seconds']:.2f}s -> {measure['speedup']:.1f}x")
+    corpus_trie = payload["corpus_trie"]
+    print(f"corpus trie x{corpus_trie['shaders']} shaders x"
+          f"{corpus_trie['platforms']} platforms: unshared "
+          f"{corpus_trie['baseline_work']} vs shared "
+          f"{corpus_trie['corpus_work']} pass-runs+emits -> "
+          f"{corpus_trie['work_ratio']:.2f}x "
+          f"({corpus_trie['step_hits']} step hits, "
+          f"{corpus_trie['interned_states']} interned states)")
     service = payload["service_warm_resubmit"]
     print(f"service x{service['shaders']}: cold {service['cold_seconds']:.2f}s, "
           f"warm resubmit {service['warm_seconds']:.3f}s -> "
@@ -230,6 +337,11 @@ def main(argv=None) -> int:
     if measure["speedup"] < args.min_measure_speedup:
         print(f"FAIL: measurement speedup {measure['speedup']:.2f}x below "
               f"the {args.min_measure_speedup:.1f}x floor", file=sys.stderr)
+        return 1
+    if corpus_trie["work_ratio"] < args.min_corpus_work_ratio:
+        print(f"FAIL: corpus-trie work ratio "
+              f"{corpus_trie['work_ratio']:.2f}x below the "
+              f"{args.min_corpus_work_ratio:.1f}x floor", file=sys.stderr)
         return 1
     return 0
 
