@@ -1,0 +1,18 @@
+#version 300 es
+// Known-bad input (kept outside examples/wild/ so --import-dir runs stay
+// clean): uniform interface blocks are outside the supported subset, so
+// `repro import` rejects this file and --minimize shrinks it to a
+// one-line reproducer (see docs/import.md and the CI import job).
+precision highp float;
+
+uniform CameraBlock {
+    mat4 view_projection;
+    vec4 camera_position;
+};
+
+in vec2 v_uv;
+out vec4 frag_color;
+
+void main() {
+    frag_color = vec4(v_uv, camera_position.xy);
+}

@@ -1,0 +1,28 @@
+#version 300 es
+// Separable blur written with a do/while tap loop and a const-expression
+// kernel size, the way GPU vendors' sample code tends to read.
+precision highp float;
+
+const int RADIUS = 3;
+const int KERNEL = 2 * RADIUS + 1;
+
+uniform sampler2D src;
+uniform float tap_weights[KERNEL];
+uniform vec2 texel;
+
+in vec2 v_uv;
+out vec4 frag_color;
+
+void main() {
+    vec4 acc = vec4(0.0);
+    float total = 0.0;
+    int i = 0;
+    do {
+        float w = tap_weights[i];
+        vec2 offset = texel * float(i - RADIUS);
+        acc += texture(src, v_uv + offset) * w;
+        total += w;
+        i++;
+    } while (i < KERNEL);
+    frag_color = acc / max(total, 0.0001);
+}

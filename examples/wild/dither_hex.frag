@@ -1,0 +1,32 @@
+#version 300 es
+/* Ordered dither with a hex-configured matrix size.  The preprocessor
+ * arithmetic below exercises hex literals and integer division: with
+ * LEVELS 0x10 the #if picks the 4x4 branch (0x10 / 4 == 4). */
+precision highp float;
+
+#define LEVELS 0x10
+
+#if LEVELS / 4 == 4
+#define DITHER_DIM 4
+#else
+#define DITHER_DIM 2
+#endif
+
+const int DIM = DITHER_DIM;
+
+uniform sampler2D src;
+uniform float thresholds[DIM * DIM];
+uniform vec2 resolution;
+
+in vec2 v_uv;
+out vec4 frag_color;
+
+void main() {
+    vec4 color = texture(src, v_uv);
+    vec2 pixel = floor(v_uv * resolution);
+    int col = int(mod(pixel.x, float(DIM)));
+    int row = int(mod(pixel.y, float(DIM)));
+    float threshold = thresholds[row * DIM + col];
+    vec3 quantized = floor(color.rgb * 15.0 + vec3(threshold)) / 15.0;
+    frag_color = vec4(quantized, color.a);
+}

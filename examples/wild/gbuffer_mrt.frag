@@ -1,0 +1,33 @@
+#version 300 es
+// Deferred g-buffer writer: layout-qualified multiple render targets and
+// a struct holding the surface sample being emitted.
+precision highp float;
+
+struct Surface {
+    vec3 albedo;
+    vec3 normal;
+    float roughness;
+};
+
+uniform sampler2D albedo_map;
+uniform sampler2D normal_map;
+uniform float roughness_scale;
+
+in vec2 v_uv;
+in vec3 v_normal;
+
+layout(location = 0) out vec4 out_albedo;
+layout(location = 1) out vec4 out_normal;
+layout(location = 2) out vec4 out_params;
+
+void main() {
+    Surface surf;
+    surf.albedo = texture(albedo_map, v_uv).rgb;
+    vec3 bump = texture(normal_map, v_uv).xyz * 2.0 - vec3(1.0);
+    surf.normal = normalize(v_normal + bump);
+    surf.roughness = clamp(
+        texture(normal_map, v_uv).a * roughness_scale, 0.0, 1.0);
+    out_albedo = vec4(surf.albedo, 1.0);
+    out_normal = vec4(surf.normal * 0.5 + vec3(0.5), 0.0);
+    out_params = vec4(surf.roughness, 0.0, 0.0, 1.0);
+}

@@ -1,0 +1,62 @@
+#version 300 es
+// Forward-lit phong accumulator, as dumped from an engine's shader cache.
+precision highp float;
+
+#define MAX_LIGHTS 3
+#define ATTENUATE 1
+
+#if MAX_LIGHTS > 4
+#error too many lights for the mobile tier
+#endif
+
+struct Light {
+    vec3 position;
+    vec3 color;
+    float intensity;
+};
+
+struct Material {
+    vec3 albedo;
+    float shininess;
+};
+
+const int LIGHT_COUNT = MAX_LIGHTS;
+
+uniform vec3 light_positions[LIGHT_COUNT];
+uniform vec3 light_colors[LIGHT_COUNT];
+uniform float light_intensity;
+uniform vec3 mat_albedo;
+uniform float mat_shininess;
+uniform vec3 camera_pos;
+
+in vec3 v_normal;
+in vec3 v_world_pos;
+out vec4 frag_color;
+
+vec3 shade(Light light, Material mat, vec3 normal, vec3 view_dir) {
+    vec3 to_light = normalize(light.position - v_world_pos);
+    float diffuse = max(dot(normal, to_light), 0.0);
+    vec3 half_dir = normalize(to_light + view_dir);
+    float spec = pow(max(dot(normal, half_dir), 0.0), mat.shininess);
+#if ATTENUATE
+    float dist = distance(light.position, v_world_pos);
+    float atten = 1.0 / (1.0 + 0.1 * dist + 0.01 * dist * dist);
+#else
+    float atten = 1.0;
+#endif
+    return (mat.albedo * diffuse + vec3(spec)) * light.color
+        * light.intensity * atten;
+}
+
+void main() {
+    Material mat = Material(mat_albedo, mat_shininess);
+    vec3 normal = normalize(v_normal);
+    vec3 view_dir = normalize(camera_pos - v_world_pos);
+    vec3 acc = vec3(0.0);
+    for (int i = 0; i < LIGHT_COUNT; i++) {
+        Light light = Light(light_positions[i], light_colors[i],
+                            light_intensity);
+        acc += shade(light, mat, normal, view_dir);
+    }
+    frag_color = vec4(acc, 1.0);
+}

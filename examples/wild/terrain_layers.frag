@@ -1,0 +1,56 @@
+#version 300 es
+// Terrain splat shading: nested structs, a #define with a line \
+// continuation, and a do/while refinement loop feeding a switch.
+precision highp float;
+
+#define BLEND(a, b, t) \
+    mix(a, b, t)
+
+struct LayerParams {
+    float scale;
+    float sharpness;
+};
+
+struct Layer {
+    vec3 tint;
+    LayerParams params;
+};
+
+const int STEPS = 4;
+
+uniform sampler2D height_map;
+uniform vec3 grass_tint;
+uniform vec3 rock_tint;
+uniform float layer_scale;
+uniform float layer_sharpness;
+uniform int biome;
+
+in vec2 v_uv;
+out vec4 frag_color;
+
+void main() {
+    Layer grass = Layer(grass_tint, LayerParams(layer_scale, layer_sharpness));
+    Layer rock = Layer(rock_tint, LayerParams(layer_scale * 2.0, 1.0));
+    float height = 0.0;
+    int step_index = 0;
+    do {
+        height += texture(height_map,
+                          v_uv * grass.params.scale
+                              + vec2(float(step_index))).r;
+        step_index++;
+    } while (step_index < STEPS);
+    height /= float(STEPS);
+    float t = clamp(height * rock.params.sharpness, 0.0, 1.0);
+    vec3 base = BLEND(grass.tint, rock.tint, t);
+    switch (biome) {
+    case 0:
+        base *= vec3(0.9, 1.1, 0.9);
+        break;
+    case 1:
+        base *= vec3(1.1, 1.0, 0.8);
+        break;
+    default:
+        break;
+    }
+    frag_color = vec4(base, 1.0);
+}

@@ -1,0 +1,33 @@
+#version 300 es
+// Tonemap operator selector; the switch fallthrough is intentional:
+// mode 2 adds exposure bias and then reuses the reinhard path.
+precision mediump float;
+
+uniform sampler2D hdr_buffer;
+uniform int tonemap_mode;
+uniform float exposure;
+
+in vec2 v_uv;
+out vec4 frag_color;
+
+void main() {
+    vec3 color = texture(hdr_buffer, v_uv).rgb * exposure;
+    switch (tonemap_mode) {
+    case 0:
+        // clamp-only passthrough
+        color = clamp(color, 0.0, 1.0);
+        break;
+    case 2:
+        color *= 1.5;
+    case 1:
+        // reinhard
+        color = color / (color + vec3(1.0));
+        break;
+    default:
+        // filmic-ish fallback
+        color = (color * (2.51 * color + vec3(0.03)))
+            / (color * (2.43 * color + vec3(0.59)) + vec3(0.14));
+        break;
+    }
+    frag_color = vec4(color, 1.0);
+}

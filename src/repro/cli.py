@@ -4,6 +4,9 @@ Commands mirror the paper's workflow:
 
 - ``optimize``  — run the offline optimizer over a GLSL file.
 - ``variants``  — count/list the unique variants of a shader (Fig. 4c).
+- ``import``    — ingest wild real-world GLSL into the studied subset
+                  (widened grammar + normalization); failing inputs can be
+                  auto-minimized into committed reproducer test cases.
 - ``time``      — time a shader on one or all simulated platforms.
 - ``study``     — run the exhaustive study over the corpus (optionally one
                   shard of it) and print the Fig. 5 / Table I summaries.
@@ -26,7 +29,9 @@ Commands mirror the paper's workflow:
 
 ``study``, ``tune``, and ``report`` all accept ``--synth-seed`` /
 ``--synth-count`` to extend the corpus with procedurally synthesized
-übershader families (see ``repro.corpus.synth`` and ``docs/corpus.md``).
+übershader families (see ``repro.corpus.synth`` and ``docs/corpus.md``),
+and ``--import-dir`` to merge ingested wild shaders in as the ``imported``
+family (see ``docs/import.md``).
 See ``docs/cli.md`` for copy-pasteable examples of each command and
 ``docs/tutorial.md`` for a ten-minute walkthrough.
 """
@@ -114,6 +119,62 @@ def _cmd_time(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_import(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.errors import ReproError
+    from repro.glsl.ingest import ingest_file, iter_shader_files
+    from repro.glsl.introspect import interface_summary
+    from repro.glsl.minimize import minimize_source, write_reproducer
+
+    paths: List[Path] = []
+    for raw in args.paths:
+        path = Path(raw)
+        if path.is_dir():
+            found = iter_shader_files(path)
+            if not found:
+                print(f"note: no shader files under {path}", file=sys.stderr)
+            paths.extend(found)
+        elif path.is_file():
+            paths.append(path)
+        else:
+            raise SystemExit(f"error: no such file or directory: {raw}")
+
+    imported = 0
+    failed = 0
+    for path in paths:
+        try:
+            result = ingest_file(path)
+        except ReproError as exc:
+            failed += 1
+            print(f"FAIL {path}: {type(exc).__name__}: {exc}")
+            if args.minimize:
+                shrunk = minimize_source(path.read_text())
+                assert shrunk is not None  # it just failed above
+                frag, test = write_reproducer(
+                    shrunk, args.repro_dir, path.stem)
+                print(f"  minimized {shrunk.original_lines} -> "
+                      f"{shrunk.minimized_lines} lines "
+                      f"({shrunk.probes} probes)")
+                print(f"  reproducer: {frag}")
+                print(f"  regression test: {test}")
+            continue
+        imported += 1
+        print(f"ok   {path}: {result.loc_before} -> {result.loc_after} loc")
+        if args.verbose:
+            print(interface_summary(result.shader))
+        if args.emit_dir:
+            out_dir = Path(args.emit_dir)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            out_path = out_dir / f"{result.name}.frag"
+            out_path.write_text(result.canonical)
+            print(f"  canonical: {out_path}")
+
+    print(f"\nimported {imported}/{len(paths)} shaders"
+          + (f", {failed} failed" if failed else ""))
+    return 1 if failed else 0
+
+
 def corpus_spec_from_args(args: argparse.Namespace) -> CorpusSpec:
     """The :class:`CorpusSpec` behind the shared corpus-selection flags.
 
@@ -124,7 +185,8 @@ def corpus_spec_from_args(args: argparse.Namespace) -> CorpusSpec:
     """
     return CorpusSpec(max_shaders=args.max_shaders or None,
                       synth_seed=args.synth_seed,
-                      synth_count=args.synth_count)
+                      synth_count=args.synth_count,
+                      import_dir=args.import_dir or None)
 
 
 def _synth_corpus(args: argparse.Namespace):
@@ -665,6 +727,10 @@ def _add_corpus_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--synth-seed", type=int, default=None,
                    help="seed for the synthesized families (default: 2018); "
                         "changes their content, never their names/order")
+    p.add_argument("--import-dir", default="",
+                   help="ingest every wild shader file under this directory "
+                        "(via `repro import` normalization) as the "
+                        "'imported' corpus family")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -692,6 +758,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Intel|AMD|NVIDIA|ARM|Qualcomm|all")
     p.add_argument("--seed", type=int, default=2018)
     p.set_defaults(fn=_cmd_time)
+
+    p = sub.add_parser(
+        "import",
+        help="ingest wild GLSL into the studied subset (preprocess, parse "
+             "the widened grammar, normalize structs/do-while/switch); "
+             "failures can auto-minimize into committed reproducers")
+    p.add_argument("paths", nargs="+",
+                   help="shader files and/or directories to ingest")
+    p.add_argument("--minimize", action="store_true",
+                   help="on failure, delta-debug the input down to a "
+                        "1-minimal reproducer plus a ready-to-commit "
+                        "pytest regression test")
+    p.add_argument("--repro-dir", default="reproducers",
+                   help="directory for --minimize artifacts "
+                        "(default: reproducers/)")
+    p.add_argument("--emit-dir", default="",
+                   help="also write each shader's canonical normalized "
+                        "form here as <name>.frag")
+    p.add_argument("--verbose", action="store_true",
+                   help="print each imported shader's uniform/in/out "
+                        "interface")
+    p.set_defaults(fn=_cmd_import)
 
     p = sub.add_parser("study", help="run the exhaustive corpus study")
     _add_corpus_args(p)

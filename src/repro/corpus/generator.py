@@ -38,18 +38,30 @@ class CorpusSpec:
     max_shaders: Optional[int] = None
     synth_seed: Optional[int] = None
     synth_count: int = 0
+    import_dir: Optional[str] = None
 
     def build(self) -> List[ShaderCase]:
         """Instantiate the selected corpus (lazily truncated)."""
         return default_corpus(max_shaders=self.max_shaders,
                               synth_seed=self.synth_seed,
-                              synth_count=self.synth_count)
+                              synth_count=self.synth_count,
+                              import_dir=self.import_dir)
 
     def to_dict(self) -> Dict[str, object]:
-        """A canonical, JSON-safe form (stable across equal specs)."""
-        return {"max_shaders": self.max_shaders,
-                "synth_seed": self.synth_seed,
-                "synth_count": self.synth_count}
+        """A canonical, JSON-safe form (stable across equal specs).
+
+        ``import_dir`` is only present when set, so specs without imports
+        keep their historical canonical form (and content digests).  Note
+        the digest covers the *path*, not the directory's contents.
+        """
+        payload: Dict[str, object] = {
+            "max_shaders": self.max_shaders,
+            "synth_seed": self.synth_seed,
+            "synth_count": self.synth_count,
+        }
+        if self.import_dir is not None:
+            payload["import_dir"] = self.import_dir
+        return payload
 
     def to_cli_args(self) -> List[str]:
         """This spec as the equivalent shared CLI corpus flags.
@@ -67,21 +79,25 @@ class CorpusSpec:
             args += ["--synth-seed", str(self.synth_seed)]
         if self.synth_count:
             args += ["--synth-count", str(self.synth_count)]
+        if self.import_dir is not None:
+            args += ["--import-dir", self.import_dir]
         return args
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "CorpusSpec":
         """Rebuild a spec from :meth:`to_dict` output (extras rejected)."""
-        known = {"max_shaders", "synth_seed", "synth_count"}
+        known = {"max_shaders", "synth_seed", "synth_count", "import_dir"}
         unknown = set(payload) - known
         if unknown:
             raise ValueError(f"unknown CorpusSpec fields: {sorted(unknown)}")
         max_shaders = payload.get("max_shaders")
         synth_seed = payload.get("synth_seed")
+        import_dir = payload.get("import_dir")
         return cls(
             max_shaders=None if max_shaders is None else int(max_shaders),
             synth_seed=None if synth_seed is None else int(synth_seed),
-            synth_count=int(payload.get("synth_count") or 0))
+            synth_count=int(payload.get("synth_count") or 0),
+            import_dir=None if import_dir is None else str(import_dir))
 
 
 def corpus_families(synth_seed: Optional[int] = None,
@@ -124,39 +140,82 @@ def _family_stream(synth_seed: Optional[int],
     return merge(handwritten, synthesized, key=lambda pair: pair[0])
 
 
+#: Family name carried by every shader brought in via ``--import-dir``.
+IMPORTED_FAMILY = "imported"
+
+
+def _imported_cases(import_dir: str) -> Iterator[ShaderCase]:
+    """Ingest every shader file under *import_dir*, in sorted-path order.
+
+    Case names derive from the file's path relative to the import root
+    (separators and suffix folded away), so two files with the same stem
+    in different subdirectories stay distinct.
+    """
+    from pathlib import Path
+
+    from repro.glsl.ingest import ingest_file, iter_shader_files
+
+    root = Path(import_dir)
+    for path in iter_shader_files(root):
+        rel = path.relative_to(root)
+        name = "__".join(rel.parts)[: -len(path.suffix)]
+        result = ingest_file(path)
+        yield ShaderCase(name=name, family=IMPORTED_FAMILY,
+                         source=result.canonical)
+
+
 def iter_corpus(families: Optional[List[str]] = None,
                 synth_seed: Optional[int] = None,
-                synth_count: int = 0) -> Iterator[ShaderCase]:
+                synth_count: int = 0,
+                import_dir: Optional[str] = None) -> Iterator[ShaderCase]:
     """Lazily yield the corpus stream in deterministic order.
 
     Order is family name (sorted), then variant order within the family.
     ``families`` restricts to named families.  Synthesized families are
     built on demand, so truncated consumers (``islice``, sharding) never
     pay instantiation cost for cases they skip past the stream's tail.
+    With ``import_dir``, every shader file under that directory is ingested
+    through :mod:`repro.glsl.ingest` and joins the stream as the
+    ``imported`` family, merged into the same sorted-name order.
     """
-    for name, make in _family_stream(synth_seed, synth_count):
+    def base_cases(make: Callable[[], Family]) -> Callable[[], Iterator[ShaderCase]]:
+        def build() -> Iterator[ShaderCase]:
+            family = make()
+            for variant in family.variants:
+                yield family.instantiate(variant)
+        return build
+
+    stream: Iterator[Tuple[str, Callable[[], Iterator[ShaderCase]]]] = (
+        (name, base_cases(make))
+        for name, make in _family_stream(synth_seed, synth_count))
+    if import_dir is not None:
+        imported = iter(
+            [(IMPORTED_FAMILY,
+              lambda: _imported_cases(import_dir))])  # type: ignore[list-item]
+        stream = merge(stream, imported, key=lambda pair: pair[0])
+    for name, build in stream:
         if families is not None and name not in families:
             continue
-        family = make()
-        for variant in family.variants:
-            yield family.instantiate(variant)
+        yield from build()
 
 
 def default_corpus(max_shaders: Optional[int] = None,
                    families: Optional[List[str]] = None,
                    synth_seed: Optional[int] = None,
-                   synth_count: int = 0) -> List[ShaderCase]:
+                   synth_count: int = 0,
+                   import_dir: Optional[str] = None) -> List[ShaderCase]:
     """The default study corpus: every instance of every family.
 
     ``families`` restricts to named families; ``max_shaders`` truncates (for
     quick test runs) — lazily, via :func:`iter_corpus`, so a truncated run
     over a huge synthesized corpus only instantiates the cases it keeps.
     ``synth_seed``/``synth_count`` append the procedural families from
-    :mod:`repro.corpus.synth`.  Order is deterministic: family name, then
-    variant order within the family.
+    :mod:`repro.corpus.synth`; ``import_dir`` merges in ingested wild
+    shaders as the ``imported`` family.  Order is deterministic: family
+    name, then variant order within the family.
     """
     stream = iter_corpus(families=families, synth_seed=synth_seed,
-                         synth_count=synth_count)
+                         synth_count=synth_count, import_dir=import_dir)
     if max_shaders is not None:
         return list(islice(stream, max_shaders))
     return list(stream)

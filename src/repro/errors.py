@@ -44,6 +44,15 @@ class TypeError_(ReproError):
     avoid shadowing the builtin)."""
 
 
+class NormalizeError(ReproError):
+    """Raised when the wild-GLSL normalizer cannot rewrite a construct into
+    the core subset (e.g. struct return types, conditional switch breaks)."""
+
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
 class LoweringError(ReproError):
     """Raised when the AST-to-IR lowering meets an unsupported construct."""
 

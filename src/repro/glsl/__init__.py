@@ -7,14 +7,22 @@ The public surface of this package mirrors the pipeline order:
 - :func:`repro.glsl.lexer.tokenize` — turn preprocessed text into tokens.
 - :func:`repro.glsl.parser.parse_shader` — build a typed AST.
 - :func:`repro.glsl.printer.print_shader` — render an AST back to GLSL.
+- :func:`repro.glsl.normalize.normalize_shader` — rewrite the widened wild
+  constructs (structs, do/while, switch) into the core subset.
 - :func:`repro.glsl.introspect.shader_interface` — enumerate uniforms/ins/outs.
 - :func:`repro.glsl.metrics.lines_of_code` — the paper's Fig. 4a LoC metric.
+
+The wild-GLSL import pipeline (``repro import``) composes these:
+:mod:`repro.glsl.ingest` runs preprocess → parse → normalize → validate,
+and :mod:`repro.glsl.minimize` delta-debugs failing imports into minimal
+committed reproducers.
 """
 
 from repro.glsl.lexer import tokenize
 from repro.glsl.preprocessor import preprocess
 from repro.glsl.parser import parse_shader
 from repro.glsl.printer import print_shader
+from repro.glsl.normalize import normalize_shader
 from repro.glsl.introspect import shader_interface
 from repro.glsl.metrics import lines_of_code
 
@@ -23,6 +31,7 @@ __all__ = [
     "preprocess",
     "parse_shader",
     "print_shader",
+    "normalize_shader",
     "shader_interface",
     "lines_of_code",
 ]

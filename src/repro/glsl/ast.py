@@ -100,7 +100,12 @@ class Index(Expr):
 
 @dataclass
 class Member(Expr):
-    """Swizzle access such as ``v.xyz`` (struct members are unsupported)."""
+    """``base.name`` — a vector swizzle or a struct field access.
+
+    The parser distinguishes the two by the base's type: when ``base.ty`` is
+    a :class:`~repro.glsl.types.Struct` this is a field access (flattened
+    away by the normalizer before lowering); otherwise a swizzle.
+    """
 
     base: Optional[Expr] = None
     name: str = ""
@@ -178,6 +183,45 @@ class WhileStmt(Stmt):
 
 
 @dataclass
+class DoWhileStmt(Stmt):
+    """``do { ... } while (cond);`` — body runs before the first test.
+
+    Ingested shaders only: the normalizer rewrites this into a ``while``
+    loop with a first-iteration latch before lowering.
+    """
+
+    cond: Optional[Expr] = None
+    body: Optional[BlockStmt] = None
+
+
+@dataclass
+class SwitchCase:
+    """One ``case``/``default`` group inside a ``switch`` statement.
+
+    ``values`` lists the (const-folded) case labels sharing this body —
+    adjacent labels with no statements between them collapse into one
+    group.  ``None`` marks the ``default`` group.
+    """
+
+    values: Optional[List[int]]
+    body: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class SwitchStmt(Stmt):
+    """``switch (scrutinee) { case ...: ... }`` over an integer scrutinee.
+
+    Ingested shaders only: the normalizer lowers the statement into an
+    ``if``/``else if`` chain (with C fallthrough semantics preserved by
+    body concatenation) before lowering.
+    """
+
+    cond: Optional[Expr] = None
+    cases: List[SwitchCase] = field(default_factory=list)
+
+
+@dataclass
 class ReturnStmt(Stmt):
     """``return [expr];``."""
     value: Optional[Expr] = None
@@ -204,6 +248,18 @@ class DiscardStmt(Stmt):
 # --------------------------------------------------------------------------
 # Top level
 # --------------------------------------------------------------------------
+
+
+@dataclass
+class StructDecl:
+    """A top-level ``struct Name { ... };`` type declaration."""
+
+    ty: "GLSLType"  # the Struct type this declaration introduced
+    line: int = 0
+
+    @property
+    def name(self) -> str:
+        return str(self.ty)
 
 
 @dataclass
@@ -242,6 +298,8 @@ class Shader:
     version: Optional[str]
     globals: List[GlobalDecl] = field(default_factory=list)
     functions: List[FunctionDef] = field(default_factory=list)
+    #: struct type declarations, in source order (empty after normalization)
+    structs: List[StructDecl] = field(default_factory=list)
 
     def function(self, name: str) -> Optional[FunctionDef]:
         for fn in self.functions:

@@ -53,3 +53,21 @@ def shader_interface(shader: ast.Shader) -> ShaderInterface:
         elif decl.qualifier == "out":
             interface.outputs.append(var)
     return interface
+
+
+def interface_summary(shader: ast.Shader) -> str:
+    """One-line-per-slot description of a shader's interface.
+
+    Used by ``repro import`` to report what each ingested shader exposes
+    (the harness will need to synthesize values for every slot).
+    """
+    interface = shader_interface(shader)
+    lines: List[str] = []
+    for label, slots in (("uniform", interface.uniforms),
+                         ("in", interface.inputs),
+                         ("out", interface.outputs)):
+        for var in slots:
+            lines.append(f"  {label} {var.ty} {var.name}")
+    if not lines:
+        return "  (no interface variables)"
+    return "\n".join(lines)

@@ -22,6 +22,7 @@ from repro.glsl.tokens import (
 _IDENT_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
 _IDENT_CONT = _IDENT_START | frozenset("0123456789")
 _DIGITS = frozenset("0123456789")
+_HEX_DIGITS = frozenset("0123456789abcdefABCDEF")
 
 
 def tokenize(source: str) -> List[Token]:
@@ -89,6 +90,17 @@ def tokenize(source: str) -> List[Token]:
         if ch in _DIGITS or (ch == "." and i + 1 < n and source[i + 1] in _DIGITS):
             start = i
             is_float = False
+            if ch == "0" and i + 1 < n and source[i + 1] in "xX":
+                i += 2
+                while i < n and source[i] in _HEX_DIGITS:
+                    i += 1
+                if i == start + 2:
+                    raise error("hexadecimal literal needs at least one digit")
+                if i < n and source[i] in "uU":
+                    i += 1
+                tokens.append(Token(TokenKind.INT, source[start:i], line, col))
+                col += i - start
+                continue
             while i < n and source[i] in _DIGITS:
                 i += 1
             if i < n and source[i] == ".":

@@ -1,0 +1,168 @@
+"""Delta-debugging auto-minimizer for failing wild-GLSL imports.
+
+When :func:`repro.glsl.ingest.ingest_source` rejects a shader, the most
+useful artifact is not the 900-line original but the smallest slice of it
+that still fails the same way.  :func:`minimize_source` shrinks a failing
+input at line granularity until it is 1-minimal — removing any single
+remaining line either makes the import succeed or changes the failure —
+while holding the *failure signature* fixed: the exception class plus its
+message with line/column numbers masked, so the minimizer cannot drift
+onto a different bug as lines shift upward.
+
+:func:`write_reproducer` then emits the shrunk shader next to a
+self-contained, ready-to-commit pytest regression test asserting the
+failure, which is how parser/preprocessor bugs found in the wild enter the
+test suite.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import ReproError
+from repro.glsl.ingest import ingest_source
+
+#: ``line 12, col 3:`` / ``line 12:`` prefixes and embedded numbers are
+#: masked when comparing failures, so the signature survives line removal.
+_NUM_RE = re.compile(r"\d+")
+_LOC_PREFIX_RE = re.compile(r"^line \d+(?:, col \d+)?: ")
+
+
+@dataclass(frozen=True)
+class FailureSignature:
+    """What makes two import failures "the same bug"."""
+
+    error_class: str   # exception class name, e.g. "ParseError"
+    message: str       # message with all numbers masked to "N"
+
+    @classmethod
+    def of_exception(cls, exc: ReproError) -> "FailureSignature":
+        return cls(type(exc).__name__, _NUM_RE.sub("N", str(exc)))
+
+
+@dataclass
+class MinimizeResult:
+    """Outcome of shrinking one failing import."""
+
+    minimized: str             # the 1-minimal failing source
+    signature: FailureSignature
+    error_message: str         # exact message raised by ``minimized``
+    original_lines: int
+    minimized_lines: int
+    probes: int                # number of candidate imports attempted
+
+
+def failure_of(source: str) -> Optional[ReproError]:
+    """The exception *source* raises on import, or None if it ingests."""
+    try:
+        ingest_source(source)
+    except ReproError as exc:
+        return exc
+    return None
+
+
+def minimize_source(source: str) -> Optional[MinimizeResult]:
+    """Shrink a failing import to a 1-minimal line-level reproducer.
+
+    Returns None when *source* imports cleanly (nothing to minimize).
+    Classic ddmin over lines: try dropping chunks of decreasing size,
+    accepting any removal that preserves the failure signature, and
+    repeat single-line passes until a fixpoint proves 1-minimality.
+    """
+    original = failure_of(source)
+    if original is None:
+        return None
+    signature = FailureSignature.of_exception(original)
+    lines = source.splitlines()
+    original_count = len(lines)
+    probes = 0
+
+    def still_fails(candidate: List[str]) -> bool:
+        nonlocal probes
+        probes += 1
+        exc = failure_of("\n".join(candidate))
+        return exc is not None and FailureSignature.of_exception(exc) == signature
+
+    chunk = max(len(lines) // 2, 1)
+    while True:
+        removed_any = False
+        i = 0
+        while i < len(lines):
+            candidate = lines[:i] + lines[i + chunk:]
+            if still_fails(candidate):
+                lines = candidate
+                removed_any = True
+            else:
+                i += chunk
+        if chunk == 1:
+            if not removed_any:
+                break  # no single line can go: 1-minimal
+        else:
+            chunk = max(chunk // 2, 1)
+
+    minimized = "\n".join(lines)
+    exc = failure_of(minimized)
+    assert exc is not None  # signature-preserving by construction
+    return MinimizeResult(
+        minimized=minimized,
+        signature=signature,
+        error_message=str(exc),
+        original_lines=original_count,
+        minimized_lines=len(lines),
+        probes=probes,
+    )
+
+
+def core_message(message: str) -> str:
+    """Strip the ``line N[, col M]:`` location prefix from an error message."""
+    return _LOC_PREFIX_RE.sub("", message)
+
+
+_TEST_TEMPLATE = '''"""Auto-generated wild-GLSL regression test (repro import --minimize).
+
+The shader below is the 1-minimal slice of a rejected import that still
+fails with {error_class}: {core!r}.  If the frontend
+learns to accept it, delete this test and promote the input to a corpus
+example instead.
+"""
+
+import pytest
+
+from repro.errors import {error_class}
+from repro.glsl.ingest import ingest_source
+
+SOURCE = {source!r}
+
+
+def test_minimized_reproducer_still_fails():
+    with pytest.raises({error_class}) as excinfo:
+        ingest_source(SOURCE)
+    assert {core!r} in str(excinfo.value)
+'''
+
+
+def write_reproducer(
+    result: MinimizeResult,
+    directory: Union[str, Path],
+    slug: str,
+) -> Tuple[Path, Path]:
+    """Write ``<slug>.min.frag`` and ``test_<slug>.py`` under *directory*.
+
+    The test is self-contained (embeds the minimized source) so it can be
+    committed directly into ``tests/``.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    slug = re.sub(r"[^A-Za-z0-9_]", "_", slug)
+    frag_path = directory / f"{slug}.min.frag"
+    frag_path.write_text(result.minimized + "\n")
+    test_path = directory / f"test_{slug}.py"
+    test_path.write_text(_TEST_TEMPLATE.format(
+        error_class=result.signature.error_class,
+        core=core_message(result.error_message),
+        source=result.minimized,
+    ))
+    return frag_path, test_path

@@ -1,0 +1,474 @@
+"""Rewrite wild-GLSL AST constructs into the core shader subset.
+
+The widened parser (see :mod:`repro.glsl.parser`) accepts ``struct``
+declarations, ``do``/``while`` loops, and ``switch`` statements so that
+real-world shaders ingest cleanly.  The IR lowering, however, only
+understands the core subset, so :func:`normalize_shader` rewrites each of
+the extended constructs away:
+
+* ``do { B } while (c);`` becomes a ``while`` loop guarded by a
+  first-iteration latch: ``bool __dwN = true; while (__dwN || c) {
+  __dwN = false; B }`` — the short-circuit ``||`` keeps the condition
+  unevaluated on the first pass, matching C semantics.
+* ``switch`` becomes an ``if``/``else if`` chain over a scrutinee
+  temporary.  C fallthrough is preserved by concatenating each case's
+  body with the bodies of the following groups up to the first
+  terminating one; a single trailing ``break`` per group is stripped.
+  ``break`` anywhere else inside a case (including conditionally) has no
+  if-chain equivalent and raises :class:`~repro.errors.NormalizeError`.
+* Every struct value is flattened into one variable per leaf field
+  (``light.pos`` becomes ``light__pos``, nested fields join with
+  ``__``), covering globals, locals, function parameters, constructors,
+  member reads, and whole-struct assignment.  Struct return types and
+  struct arrays have no flat equivalent and raise ``NormalizeError``.
+
+The result is a shader that prints, lowers, and measures exactly like a
+natively-authored one; ``normalize_shader`` is idempotent on shaders
+already inside the subset.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import NormalizeError
+from repro.glsl import ast
+from repro.glsl import types as T
+
+
+def normalize_shader(shader: ast.Shader) -> ast.Shader:
+    """Rewrite *shader* in place into the core subset and return it."""
+    _Normalizer().run(shader)
+    return shader
+
+
+def _flat_name(parts: Tuple[str, ...]) -> str:
+    return "__".join(parts)
+
+
+def _leaves(ty: T.GLSLType, prefix: Tuple[str, ...] = ()
+            ) -> Iterator[Tuple[Tuple[str, ...], T.GLSLType]]:
+    """Yield ``(field_path, leaf_type)`` for every flattened field of *ty*."""
+    if isinstance(ty, T.Struct):
+        for fname, fty in ty.fields:
+            yield from _leaves(fty, prefix + (fname,))
+        return
+    if isinstance(ty, T.Array) and isinstance(ty.element, T.Struct):
+        raise NormalizeError("arrays of struct values are not supported")
+    yield prefix, ty
+
+
+class _Normalizer:
+    """Single-shader rewrite state (fresh-name counters)."""
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def _fresh(self, prefix: str) -> str:
+        name = f"__{prefix}{self._counter}"
+        self._counter += 1
+        return name
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+
+    def run(self, shader: ast.Shader) -> None:
+        for fn in shader.functions:
+            fn.body = self._rewrite_block(fn.body)
+        self._flatten_structs(shader)
+
+    # ------------------------------------------------------------------
+    # Pass 1: do/while and switch elimination
+    # ------------------------------------------------------------------
+
+    def _rewrite_block(self, block: ast.BlockStmt) -> ast.BlockStmt:
+        out: List[ast.Stmt] = []
+        for stmt in block.body:
+            out.extend(self._rewrite_stmt(stmt))
+        block.body = out
+        return block
+
+    def _rewrite_stmt(self, stmt: ast.Stmt) -> List[ast.Stmt]:
+        if isinstance(stmt, ast.BlockStmt):
+            return [self._rewrite_block(stmt)]
+        if isinstance(stmt, ast.IfStmt):
+            stmt.then_body = self._rewrite_block(stmt.then_body)
+            if stmt.else_body is not None:
+                stmt.else_body = self._rewrite_block(stmt.else_body)
+            return [stmt]
+        if isinstance(stmt, ast.ForStmt):
+            stmt.body = self._rewrite_block(stmt.body)
+            return [stmt]
+        if isinstance(stmt, ast.WhileStmt):
+            stmt.body = self._rewrite_block(stmt.body)
+            return [stmt]
+        if isinstance(stmt, ast.DoWhileStmt):
+            return [self._rewrite_do_while(stmt)]
+        if isinstance(stmt, ast.SwitchStmt):
+            return [self._rewrite_switch(stmt)]
+        return [stmt]
+
+    def _rewrite_do_while(self, stmt: ast.DoWhileStmt) -> ast.Stmt:
+        body = self._rewrite_block(stmt.body)
+        latch = self._fresh("dw")
+        line = stmt.line
+        latch_decl = ast.DeclStmt(line=line, declarators=[
+            ast.Declarator(name=latch, ty=T.BOOL,
+                           init=ast.BoolLit(line=line, ty=T.BOOL, value=True))])
+        reset = ast.AssignStmt(
+            line=line, target=ast.Ident(line=line, ty=T.BOOL, name=latch),
+            op="=", value=ast.BoolLit(line=line, ty=T.BOOL, value=False))
+        cond = ast.Binary(
+            line=line, ty=T.BOOL, op="||",
+            left=ast.Ident(line=line, ty=T.BOOL, name=latch), right=stmt.cond)
+        loop = ast.WhileStmt(line=line, cond=cond, body=ast.BlockStmt(
+            line=line, body=[reset, body]))
+        return ast.BlockStmt(line=line, body=[latch_decl, loop])
+
+    def _rewrite_switch(self, stmt: ast.SwitchStmt) -> ast.Stmt:
+        scrutinee_ty = stmt.cond.ty if stmt.cond.ty is not None else T.INT
+        name = self._fresh("sw")
+        line = stmt.line
+        decl = ast.DeclStmt(line=line, declarators=[
+            ast.Declarator(name=name, ty=scrutinee_ty, init=stmt.cond)])
+        for case in stmt.cases:
+            rewritten: List[ast.Stmt] = []
+            for inner in case.body:
+                rewritten.extend(self._rewrite_stmt(inner))
+            case.body = rewritten
+        chain = self._switch_chain(stmt.cases, name, scrutinee_ty, line)
+        body: List[ast.Stmt] = [decl]
+        if chain is not None:
+            body.append(chain)
+        return ast.BlockStmt(line=line, body=body)
+
+    def _switch_chain(
+        self,
+        cases: List[ast.SwitchCase],
+        name: str,
+        scrutinee_ty: T.GLSLType,
+        line: int,
+    ) -> Optional[ast.Stmt]:
+        arms: List[Tuple[Optional[ast.Expr], List[ast.Stmt], int]] = []
+        default_arm: Optional[Tuple[List[ast.Stmt], int]] = None
+        for index, case in enumerate(cases):
+            effective = self._effective_body(cases, index)
+            if case.values is None:
+                default_arm = (effective, case.line)
+                continue
+            cond: Optional[ast.Expr] = None
+            for value in case.values:
+                eq = ast.Binary(
+                    line=case.line, ty=T.BOOL, op="==",
+                    left=ast.Ident(line=case.line, ty=scrutinee_ty, name=name),
+                    right=ast.IntLit(line=case.line, ty=scrutinee_ty, value=value))
+                cond = eq if cond is None else ast.Binary(
+                    line=case.line, ty=T.BOOL, op="||", left=cond, right=eq)
+            arms.append((cond, effective, case.line))
+
+        result: Optional[ast.BlockStmt] = None
+        if default_arm is not None:
+            result = ast.BlockStmt(line=default_arm[1], body=default_arm[0])
+        for cond, body, arm_line in reversed(arms):
+            result = ast.BlockStmt(line=arm_line, body=[ast.IfStmt(
+                line=arm_line, cond=cond,
+                then_body=ast.BlockStmt(line=arm_line, body=body),
+                else_body=result)])
+        if result is None:
+            return None
+        # The outermost wrapper block is redundant; keep the if directly.
+        if len(result.body) == 1:
+            return result.body[0]
+        return result
+
+    def _effective_body(self, cases: List[ast.SwitchCase], index: int
+                        ) -> List[ast.Stmt]:
+        """Case body with C fallthrough: concatenate groups until one
+        terminates, then strip the single trailing ``break``."""
+        body: List[ast.Stmt] = []
+        for case in cases[index:]:
+            body.extend(case.body)
+            if self._terminates(case.body):
+                break
+        if body and isinstance(body[-1], ast.BreakStmt):
+            body = body[:-1]
+        for inner in body:
+            self._reject_switch_breaks(inner)
+        return list(body)
+
+    def _terminates(self, body: List[ast.Stmt]) -> bool:
+        if not body:
+            return False
+        last = body[-1]
+        if isinstance(last, (ast.BreakStmt, ast.ContinueStmt,
+                             ast.ReturnStmt, ast.DiscardStmt)):
+            return True
+        if isinstance(last, ast.IfStmt) and last.else_body is not None:
+            return (self._terminates(last.then_body.body)
+                    and self._terminates(last.else_body.body))
+        if isinstance(last, ast.BlockStmt):
+            return self._terminates(last.body)
+        return False
+
+    def _reject_switch_breaks(self, stmt: ast.Stmt) -> None:
+        """A ``break`` that is not the trailing statement of its case group
+        would bind to the enclosing loop after the if-chain rewrite, so it
+        cannot be translated faithfully."""
+        if isinstance(stmt, ast.BreakStmt):
+            raise NormalizeError(
+                "break inside a switch case is only supported as the "
+                "trailing statement of the case", stmt.line)
+        if isinstance(stmt, ast.BlockStmt):
+            for inner in stmt.body:
+                self._reject_switch_breaks(inner)
+        elif isinstance(stmt, ast.IfStmt):
+            for inner in stmt.then_body.body:
+                self._reject_switch_breaks(inner)
+            if stmt.else_body is not None:
+                for inner in stmt.else_body.body:
+                    self._reject_switch_breaks(inner)
+        # for/while bodies own their breaks — do not descend.
+
+    # ------------------------------------------------------------------
+    # Pass 2: struct flattening
+    # ------------------------------------------------------------------
+
+    def _flatten_structs(self, shader: ast.Shader) -> None:
+        if not shader.structs and not any(
+            isinstance(g.ty, T.Struct) for g in shader.globals
+        ):
+            return
+        new_globals: List[ast.GlobalDecl] = []
+        for decl in shader.globals:
+            if not isinstance(decl.ty, T.Struct):
+                if isinstance(decl.ty, T.Array) and isinstance(
+                    decl.ty.element, T.Struct
+                ):
+                    raise NormalizeError(
+                        "arrays of struct values are not supported", decl.line)
+                if decl.init is not None:
+                    decl.init = self._rx(decl.init)
+                new_globals.append(decl)
+                continue
+            if decl.qualifier in ("in", "out"):
+                raise NormalizeError(
+                    f"struct-typed {decl.qualifier!r} globals are not "
+                    "supported", decl.line)
+            inits: List[Optional[ast.Expr]]
+            if decl.init is not None:
+                inits = list(self._decompose(decl.init, decl.ty))
+            else:
+                inits = [None] * sum(1 for _ in _leaves(decl.ty))
+            for (path, leaf_ty), init in zip(_leaves(decl.ty), inits):
+                new_globals.append(ast.GlobalDecl(
+                    qualifier=decl.qualifier, ty=leaf_ty,
+                    name=_flat_name((decl.name,) + path), init=init,
+                    line=decl.line))
+        shader.globals = new_globals
+
+        for fn in shader.functions:
+            if isinstance(fn.return_type, T.Struct):
+                raise NormalizeError(
+                    f"function {fn.name!r} returns a struct; struct return "
+                    "types are not supported", fn.line)
+            new_params: List[ast.Param] = []
+            for param in fn.params:
+                if isinstance(param.ty, T.Struct):
+                    for path, leaf_ty in _leaves(param.ty):
+                        new_params.append(ast.Param(
+                            qualifier=param.qualifier, ty=leaf_ty,
+                            name=_flat_name((param.name,) + path)))
+                else:
+                    new_params.append(param)
+            fn.params = new_params
+            fn.body = self._fx_block(fn.body)
+        shader.structs = []
+
+    def _fx_block(self, block: ast.BlockStmt) -> ast.BlockStmt:
+        out: List[ast.Stmt] = []
+        for stmt in block.body:
+            out.extend(self._fx_stmt(stmt))
+        block.body = out
+        return block
+
+    def _fx_stmt(self, stmt: ast.Stmt) -> List[ast.Stmt]:
+        if isinstance(stmt, ast.BlockStmt):
+            return [self._fx_block(stmt)]
+        if isinstance(stmt, ast.DeclStmt):
+            return self._fx_decl(stmt)
+        if isinstance(stmt, ast.AssignStmt):
+            return self._fx_assign(stmt)
+        if isinstance(stmt, ast.ExprStmt):
+            stmt.expr = self._rx(stmt.expr)
+            return [stmt]
+        if isinstance(stmt, ast.IfStmt):
+            stmt.cond = self._rx(stmt.cond)
+            stmt.then_body = self._fx_block(stmt.then_body)
+            if stmt.else_body is not None:
+                stmt.else_body = self._fx_block(stmt.else_body)
+            return [stmt]
+        if isinstance(stmt, ast.ForStmt):
+            if stmt.init is not None:
+                init_stmts = self._fx_stmt(stmt.init)
+                if len(init_stmts) != 1:
+                    raise NormalizeError(
+                        "struct declarations in for-init are not supported",
+                        stmt.line)
+                stmt.init = init_stmts[0]
+            if stmt.cond is not None:
+                stmt.cond = self._rx(stmt.cond)
+            if stmt.step is not None:
+                stmt.step = self._fx_stmt(stmt.step)[0]
+            stmt.body = self._fx_block(stmt.body)
+            return [stmt]
+        if isinstance(stmt, ast.WhileStmt):
+            stmt.cond = self._rx(stmt.cond)
+            stmt.body = self._fx_block(stmt.body)
+            return [stmt]
+        if isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is not None:
+                stmt.value = self._rx(stmt.value)
+            return [stmt]
+        return [stmt]
+
+    def _fx_decl(self, stmt: ast.DeclStmt) -> List[ast.Stmt]:
+        declarators: List[ast.Declarator] = []
+        for decl in stmt.declarators:
+            if isinstance(decl.ty, T.Struct):
+                inits: List[Optional[ast.Expr]]
+                if decl.init is not None:
+                    inits = list(self._decompose(decl.init, decl.ty))
+                else:
+                    inits = [None] * sum(1 for _ in _leaves(decl.ty))
+                for (path, leaf_ty), init in zip(_leaves(decl.ty), inits):
+                    declarators.append(ast.Declarator(
+                        name=_flat_name((decl.name,) + path),
+                        ty=leaf_ty, init=init))
+            else:
+                if isinstance(decl.ty, T.Array) and isinstance(
+                    decl.ty.element, T.Struct
+                ):
+                    raise NormalizeError(
+                        "arrays of struct values are not supported", stmt.line)
+                if decl.init is not None:
+                    decl.init = self._rx(decl.init)
+                declarators.append(decl)
+        stmt.declarators = declarators
+        # const-ness does not survive flattening of struct declarators
+        # (struct constructors may take non-const args), so keep it as-is
+        # only when no struct was involved.
+        return [stmt]
+
+    def _fx_assign(self, stmt: ast.AssignStmt) -> List[ast.Stmt]:
+        target_ty = stmt.target.ty
+        if isinstance(target_ty, T.Struct):
+            if stmt.op != "=":
+                raise NormalizeError(
+                    f"compound assignment {stmt.op!r} on a struct value",
+                    stmt.line)
+            path = self._path_of(stmt.target)
+            if path is None:
+                raise NormalizeError(
+                    "unsupported struct assignment target", stmt.line)
+            values = self._decompose(stmt.value, target_ty)
+            out: List[ast.Stmt] = []
+            for (leaf_path, leaf_ty), value in zip(_leaves(target_ty), values):
+                out.append(ast.AssignStmt(
+                    line=stmt.line,
+                    target=ast.Ident(line=stmt.line, ty=leaf_ty,
+                                     name=_flat_name(path + leaf_path)),
+                    op="=", value=value))
+            return out
+        stmt.target = self._rx(stmt.target)
+        stmt.value = self._rx(stmt.value)
+        return [stmt]
+
+    def _path_of(self, expr: ast.Expr) -> Optional[Tuple[str, ...]]:
+        """The variable/field path of an Ident / Member chain, else None."""
+        if isinstance(expr, ast.Ident):
+            return (expr.name,)
+        if isinstance(expr, ast.Member) and isinstance(expr.base.ty, T.Struct):
+            base = self._path_of(expr.base)
+            if base is None:
+                return None
+            return base + (expr.name,)
+        return None
+
+    def _decompose(self, expr: ast.Expr, ty: T.Struct) -> List[ast.Expr]:
+        """Flatten a struct-typed *expr* into per-leaf expressions aligned
+        with ``_leaves(ty)``."""
+        if (isinstance(expr, ast.Call) and expr.is_constructor
+                and isinstance(expr.ty, T.Struct)):
+            out: List[ast.Expr] = []
+            for arg, (_, fty) in zip(expr.args, expr.ty.fields):
+                if isinstance(fty, T.Struct):
+                    out.extend(self._decompose(arg, fty))
+                else:
+                    out.append(self._rx(arg))
+            return out
+        path = self._path_of(expr)
+        if path is not None:
+            return [
+                ast.Ident(line=expr.line, ty=leaf_ty,
+                          name=_flat_name(path + leaf_path))
+                for leaf_path, leaf_ty in _leaves(ty)
+            ]
+        raise NormalizeError(
+            "struct value is neither a constructor call nor a named "
+            "variable; cannot flatten", expr.line)
+
+    def _rx(self, expr: ast.Expr) -> ast.Expr:
+        """Rewrite expression subtrees, replacing struct member reads."""
+        if isinstance(expr, ast.Member) and isinstance(expr.base.ty, T.Struct):
+            path = self._path_of(expr)
+            if path is None:
+                raise NormalizeError(
+                    "struct field access on an unnamed value", expr.line)
+            if isinstance(expr.ty, T.Struct):
+                raise NormalizeError(
+                    "struct value used where a scalar/vector is required",
+                    expr.line)
+            return ast.Ident(line=expr.line, ty=expr.ty, name=_flat_name(path))
+        if isinstance(expr, ast.Ident):
+            if isinstance(expr.ty, T.Struct):
+                raise NormalizeError(
+                    "struct value used where a scalar/vector is required",
+                    expr.line)
+            return expr
+        if isinstance(expr, ast.Binary):
+            expr.left = self._rx(expr.left)
+            expr.right = self._rx(expr.right)
+            return expr
+        if isinstance(expr, ast.Unary):
+            expr.operand = self._rx(expr.operand)
+            return expr
+        if isinstance(expr, ast.Ternary):
+            expr.cond = self._rx(expr.cond)
+            expr.then = self._rx(expr.then)
+            expr.otherwise = self._rx(expr.otherwise)
+            return expr
+        if isinstance(expr, ast.Call):
+            if expr.is_constructor and isinstance(expr.ty, T.Struct):
+                raise NormalizeError(
+                    "struct constructor used where a scalar/vector is "
+                    "required", expr.line)
+            args: List[ast.Expr] = []
+            for arg in expr.args:
+                if isinstance(arg.ty, T.Struct):
+                    args.extend(self._decompose(arg, arg.ty))
+                else:
+                    args.append(self._rx(arg))
+            expr.args = args
+            return expr
+        if isinstance(expr, ast.ArrayLiteral):
+            expr.elements = [self._rx(e) for e in expr.elements]
+            return expr
+        if isinstance(expr, ast.Index):
+            expr.base = self._rx(expr.base)
+            expr.index = self._rx(expr.index)
+            return expr
+        if isinstance(expr, ast.Member):
+            expr.base = self._rx(expr.base)
+            return expr
+        return expr

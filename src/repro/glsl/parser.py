@@ -4,13 +4,17 @@ The parser produces a :class:`repro.glsl.ast.Shader` whose expression nodes
 all carry a resolved ``ty``.  Doing inference here keeps the IR lowering free
 of guessing: it can rely on ``expr.ty`` everywhere.
 
-Supported surface (the subset real GFXBench-style fragment shaders use):
-global ``uniform`` / ``in`` / ``out`` / ``const`` declarations, user function
-definitions, ``if``/``else``, ``for``, ``while``, ``return``, ``discard``,
-``break``, ``continue``, compound assignment, swizzles, constructors, sized
-and unsized arrays with initializers, and the builtin library in
-:mod:`repro.glsl.builtins`.  Structs and ``do``/``while`` are rejected with a
-clear error.
+Supported surface (the subset real GFXBench-style fragment shaders use, plus
+the wild-GLSL widening behind ``repro import``): global ``uniform`` / ``in``
+/ ``out`` / ``const`` declarations, layout qualifiers (multiple render
+targets), ``struct`` declarations, user function definitions, ``if``/
+``else``, ``for``, ``while``, ``do``/``while``, ``switch``, ``return``,
+``discard``, ``break``, ``continue``, compound assignment, swizzles and
+struct field access, constructors, and sized/unsized arrays whose sizes may
+be any constant integer expression (const-folded against declared ``const
+int`` values).  ``struct``/``do``/``switch`` parse into dedicated AST nodes
+that :mod:`repro.glsl.normalize` rewrites into the core subset before
+lowering.
 """
 
 from __future__ import annotations
@@ -22,7 +26,7 @@ from repro.glsl import ast
 from repro.glsl import types as T
 from repro.glsl.builtins import is_builtin, resolve_builtin
 from repro.glsl.lexer import tokenize
-from repro.glsl.tokens import Token, TokenKind
+from repro.glsl.tokens import Token, TokenKind, parse_int_literal
 
 _ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=")
 
@@ -53,11 +57,12 @@ def parse_shader(source: str) -> ast.Shader:
 
 
 class _Scope:
-    """A lexical scope mapping names to GLSL types."""
+    """A lexical scope mapping names to GLSL types (and const int values)."""
 
     def __init__(self, parent: Optional["_Scope"] = None):
         self.parent = parent
         self.names: Dict[str, T.GLSLType] = {}
+        self.const_ints: Dict[str, int] = {}
 
     def lookup(self, name: str) -> Optional[T.GLSLType]:
         scope: Optional[_Scope] = self
@@ -70,6 +75,19 @@ class _Scope:
     def declare(self, name: str, ty: T.GLSLType) -> None:
         self.names[name] = ty
 
+    def declare_const_int(self, name: str, value: int) -> None:
+        """Record a ``const int`` binding for constant-expression folding."""
+        self.const_ints[name] = value
+
+    def lookup_const_int(self, name: str) -> Optional[int]:
+        """The folded value of a ``const int``, searching enclosing scopes."""
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.names:  # nearest declaration wins, even if
+                return scope.const_ints.get(name)  # it is not const
+            scope = scope.parent
+        return None
+
 
 class _Parser:
     def __init__(self, source: str):
@@ -78,6 +96,7 @@ class _Parser:
         self.globals_scope = _Scope()
         self.scope = self.globals_scope
         self.functions: Dict[str, Tuple[T.GLSLType, List[ast.Param]]] = {}
+        self.structs: Dict[str, T.Struct] = {}
         self.current_return_type: Optional[T.GLSLType] = None
 
     # ------------------------------------------------------------------
@@ -129,15 +148,15 @@ class _Parser:
                 self._skip_layout()
                 tok = self.peek()
             if tok.text == "struct":
-                raise ParseError("struct declarations are not supported by this subset",
-                                 tok.line, tok.col)
+                shader.structs.append(self._struct_decl())
+                continue
             if tok.text in ("uniform", "in", "out", "attribute", "varying", "flat"):
                 shader.globals.extend(self._global_decl())
                 continue
             if tok.text == "const":
                 shader.globals.extend(self._global_decl())
                 continue
-            if tok.kind is TokenKind.TYPE or tok.text == "void":
+            if tok.kind is TokenKind.TYPE or tok.text == "void" or self._is_struct_name(tok):
                 if self._looks_like_function():
                     shader.functions.append(self._function_def())
                 else:
@@ -145,6 +164,55 @@ class _Parser:
                 continue
             raise ParseError(f"unexpected token {tok.text!r} at top level", tok.line, tok.col)
         return shader
+
+    def _is_struct_name(self, tok: Token) -> bool:
+        return tok.kind is TokenKind.IDENT and tok.text in self.structs
+
+    def _struct_decl(self) -> ast.StructDecl:
+        """Parse ``struct Name { type field, ...; ... };``."""
+        line = self.peek().line
+        self.expect("struct")
+        name_tok = self.expect_ident()
+        if name_tok.text in self.structs:
+            raise ParseError(f"struct {name_tok.text!r} redeclared",
+                             name_tok.line, name_tok.col)
+        self.expect("{")
+        fields: List[Tuple[str, T.GLSLType]] = []
+        seen: set = set()
+        while not self.check("}"):
+            if self.peek().kind is TokenKind.EOF:
+                raise ParseError("unterminated struct declaration", line)
+            while self.peek().text in ("highp", "mediump", "lowp"):
+                self.advance()
+            field_base = self._parse_type()
+            while True:
+                field_tok = self.expect_ident()
+                field_ty = field_base
+                if self.accept("["):
+                    size = self._const_int()
+                    self.expect("]")
+                    field_ty = T.Array(field_base, size)
+                if field_tok.text in seen:
+                    raise ParseError(
+                        f"duplicate struct field {field_tok.text!r}",
+                        field_tok.line, field_tok.col)
+                seen.add(field_tok.text)
+                fields.append((field_tok.text, field_ty))
+                if not self.accept(","):
+                    break
+            self.expect(";")
+        self.expect("}")
+        if not fields:
+            raise ParseError(f"struct {name_tok.text!r} has no fields", line)
+        if not self.check(";"):
+            tok = self.peek()
+            raise ParseError(
+                "struct declarations with trailing instance names are not "
+                "supported; declare the instance separately", tok.line, tok.col)
+        self.expect(";")
+        struct_ty = T.Struct(name_tok.text, tuple(fields))
+        self.structs[name_tok.text] = struct_ty
+        return ast.StructDecl(ty=struct_ty, line=line)
 
     def _skip_until(self, text: str) -> None:
         while not self.check(text) and self.peek().kind is not TokenKind.EOF:
@@ -174,10 +242,14 @@ class _Parser:
         if tok.text == "void":
             self.advance()
             return T.VOID
-        if tok.kind is not TokenKind.TYPE:
+        if self._is_struct_name(tok):
+            self.advance()
+            base: T.GLSLType = self.structs[tok.text]
+        elif tok.kind is TokenKind.TYPE:
+            self.advance()
+            base = T.type_from_name(tok.text)
+        else:
             raise ParseError(f"expected type name, found {tok.text!r}", tok.line, tok.col)
-        self.advance()
-        base = T.type_from_name(tok.text)
         if self.accept("["):
             if self.check("]"):
                 self.advance()
@@ -188,11 +260,59 @@ class _Parser:
         return base
 
     def _const_int(self) -> int:
+        """Parse a constant integer expression and fold it to a value.
+
+        Array sizes (and case labels) in real shaders are rarely bare
+        literals — ``const int N = 4; float w[N];`` and ``w[N - 1]``-style
+        sizes are ubiquitous — so any expression built from integer
+        literals, declared ``const int`` names, and integer arithmetic is
+        accepted and folded here.
+        """
         tok = self.peek()
-        if tok.kind is not TokenKind.INT:
-            raise ParseError("expected integer constant", tok.line, tok.col)
-        self.advance()
-        return int(tok.text.rstrip("uU"))
+        expr = self._ternary()
+        return self._fold_int(expr, tok)
+
+    def _fold_int(self, expr: ast.Expr, tok: Token) -> int:
+        value = self._try_fold_int(expr)
+        if value is None:
+            raise ParseError(
+                "expected a constant integer expression (integer literals, "
+                "const int names, and integer arithmetic)", tok.line, tok.col)
+        return value
+
+    def _try_fold_int(self, expr: ast.Expr) -> Optional[int]:
+        """Fold *expr* to an int if it is a constant integer expression."""
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.Ident):
+            return self.scope.lookup_const_int(expr.name)
+        if isinstance(expr, ast.Unary) and not expr.postfix:
+            value = self._try_fold_int(expr.operand)
+            if value is None:
+                return None
+            return -value if expr.op == "-" else value if expr.op == "+" else None
+        if isinstance(expr, ast.Binary):
+            left = self._try_fold_int(expr.left)
+            right = self._try_fold_int(expr.right)
+            if left is None or right is None:
+                return None
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+            if expr.op in ("/", "%"):
+                if right == 0:
+                    return None
+                # GLSL integer division truncates toward zero, like C.
+                quotient = abs(left) // abs(right)
+                if expr.op == "/":
+                    return quotient if (left < 0) == (right < 0) else -quotient
+                remainder = abs(left) % abs(right)
+                return remainder if left >= 0 else -remainder
+            return None
+        return None
 
     def _global_decl(self) -> List[ast.GlobalDecl]:
         line = self.peek().line
@@ -227,6 +347,10 @@ class _Parser:
                     if isinstance(init, ast.ArrayLiteral):
                         this_ty = T.Array(this_ty.element, len(init.elements))
             self.globals_scope.declare(name_tok.text, this_ty)
+            if qualifier == "const" and this_ty == T.INT and init is not None:
+                value = self._try_fold_int(init)
+                if value is not None:
+                    self.globals_scope.declare_const_int(name_tok.text, value)
             decls.append(
                 ast.GlobalDecl(qualifier=qualifier, ty=this_ty, name=name_tok.text,
                                init=init, line=line)
@@ -304,7 +428,9 @@ class _Parser:
         if tok.text == "while":
             return self._while_stmt()
         if tok.text == "do":
-            raise ParseError("do/while loops are not supported", tok.line, tok.col)
+            return self._do_while_stmt()
+        if tok.text == "switch":
+            return self._switch_stmt()
         if tok.text == "return":
             self.advance()
             value = None if self.check(";") else self._expression()
@@ -336,6 +462,8 @@ class _Parser:
             return True
         if tok.text in ("highp", "mediump", "lowp"):
             return self.peek(1).kind is TokenKind.TYPE
+        if self._is_struct_name(tok):
+            return self.peek(1).kind is TokenKind.IDENT
         if tok.kind is TokenKind.TYPE:
             # Distinguish `vec3 v = ...;` from constructor `vec3(...)` and
             # array literal `vec3[](...)`.
@@ -378,6 +506,10 @@ class _Parser:
                         this_ty = T.Array(this_ty.element, len(init.elements))
                 init = self._coerce(init, this_ty)
             self.scope.declare(name, this_ty)
+            if is_const and this_ty == T.INT and init is not None:
+                value = self._try_fold_int(init)
+                if value is not None:
+                    self.scope.declare_const_int(name, value)
             declarators.append(ast.Declarator(name=name, ty=this_ty, init=init))
             if not self.accept(","):
                 break
@@ -445,6 +577,69 @@ class _Parser:
         body = self._stmt_as_block()
         return ast.WhileStmt(line=line, cond=cond, body=body)
 
+    def _do_while_stmt(self) -> ast.DoWhileStmt:
+        line = self.peek().line
+        self.expect("do")
+        body = self._stmt_as_block()
+        self.expect("while")
+        self.expect("(")
+        cond = self._expression()
+        self.expect(")")
+        self.expect(";")
+        if cond.ty != T.BOOL:
+            raise ParseError("do/while condition must be bool", line)
+        return ast.DoWhileStmt(line=line, cond=cond, body=body)
+
+    def _switch_stmt(self) -> ast.SwitchStmt:
+        line = self.peek().line
+        self.expect("switch")
+        self.expect("(")
+        cond = self._expression()
+        self.expect(")")
+        if cond.ty not in (T.INT, T.UINT):
+            raise ParseError("switch scrutinee must be an integer", line)
+        self.expect("{")
+        outer = self.scope
+        self.scope = _Scope(outer)
+        cases: List[ast.SwitchCase] = []
+        seen_values: set = set()
+        seen_default = False
+        while not self.check("}"):
+            tok = self.peek()
+            if tok.kind is TokenKind.EOF:
+                raise ParseError("unterminated switch statement", line)
+            if tok.text == "case":
+                self.advance()
+                value = self._const_int()
+                self.expect(":")
+                if value in seen_values:
+                    raise ParseError(f"duplicate case label {value}",
+                                     tok.line, tok.col)
+                seen_values.add(value)
+                if cases and not cases[-1].body:
+                    # `case 1: case 2:` — merge labels into one group.
+                    if cases[-1].values is not None:
+                        cases[-1].values.append(value)
+                        continue
+                cases.append(ast.SwitchCase(values=[value], line=tok.line))
+                continue
+            if tok.text == "default":
+                self.advance()
+                self.expect(":")
+                if seen_default:
+                    raise ParseError("duplicate default label",
+                                     tok.line, tok.col)
+                seen_default = True
+                cases.append(ast.SwitchCase(values=None, line=tok.line))
+                continue
+            if not cases:
+                raise ParseError("statement before first case label in switch",
+                                 tok.line, tok.col)
+            cases[-1].body.append(self._statement())
+        self.expect("}")
+        self.scope = outer
+        return ast.SwitchStmt(line=line, cond=cond, cases=cases)
+
     # ------------------------------------------------------------------
     # Expressions
     # ------------------------------------------------------------------
@@ -506,7 +701,7 @@ class _Parser:
             elif tok.text == ".":
                 self.advance()
                 name = self.expect_ident().text
-                expr = ast.Member(line=tok.line, ty=self._swizzle_type(expr, name, tok),
+                expr = ast.Member(line=tok.line, ty=self._member_type(expr, name, tok),
                                   base=expr, name=name)
             elif tok.text in ("++", "--"):
                 self.advance()
@@ -523,7 +718,8 @@ class _Parser:
                                 value=float(tok.text.rstrip("fF")))
         if tok.kind is TokenKind.INT:
             self.advance()
-            return ast.IntLit(line=tok.line, ty=T.INT, value=int(tok.text.rstrip("uU")))
+            return ast.IntLit(line=tok.line, ty=T.INT,
+                              value=parse_int_literal(tok.text))
         if tok.kind is TokenKind.BOOL:
             self.advance()
             return ast.BoolLit(line=tok.line, ty=T.BOOL, value=tok.text == "true")
@@ -616,6 +812,17 @@ class _Parser:
         arg_types = [a.ty for a in args]
         if any(t is None for t in arg_types):
             raise ParseError(f"untyped argument to {name}()", name_tok.line, name_tok.col)
+        if name in self.structs:
+            struct_ty = self.structs[name]
+            if len(args) != len(struct_ty.fields):
+                raise ParseError(
+                    f"constructor {name}() expects {len(struct_ty.fields)} "
+                    f"arguments, got {len(args)}",
+                    name_tok.line, name_tok.col)
+            args = [self._coerce(a, fty)
+                    for a, (_, fty) in zip(args, struct_ty.fields)]
+            return ast.Call(line=name_tok.line, ty=struct_ty, callee=name,
+                            args=args, is_constructor=True)
         if name in self.functions:
             ret, params = self.functions[name]
             if len(args) != len(params):
@@ -762,6 +969,15 @@ class _Parser:
         if isinstance(ty, T.Matrix):
             return ty.column_type
         raise ParseError(f"type {ty} is not indexable", tok.line, tok.col)
+
+    def _member_type(self, base: ast.Expr, name: str, tok: Token) -> T.GLSLType:
+        """Type of ``base.name`` — struct field access or vector swizzle."""
+        if isinstance(base.ty, T.Struct):
+            try:
+                return base.ty.field_type(name)
+            except TypeError_ as exc:
+                raise ParseError(str(exc), tok.line, tok.col)
+        return self._swizzle_type(base, name, tok)
 
     def _swizzle_type(self, base: ast.Expr, name: str, tok: Token) -> T.GLSLType:
         ty = base.ty

@@ -2,12 +2,21 @@
 
 Supported: ``#version``, ``#extension``, ``#pragma`` (recorded/stripped),
 ``#define`` (object-like and function-like), ``#undef``, ``#ifdef``,
-``#ifndef``, ``#if``, ``#elif``, ``#else``, ``#endif``.  Conditional
-expressions support integer literals, ``defined(X)``, the usual arithmetic,
-comparison and logical operators, and macro substitution.
+``#ifndef``, ``#if``, ``#elif``, ``#else``, ``#endif``, ``#error``.
+Conditional expressions follow C preprocessor semantics: integer literals
+(decimal, hex, octal, with ``u``/``l`` suffixes), ``defined(X)``, the usual
+arithmetic / bitwise / comparison / logical operators with truncating integer
+division, short-circuit ``&&`` / ``||``, and macro substitution.  Directives
+inside inactive conditional groups are skipped without being evaluated, so a
+``#if`` branch guarded off by an outer conditional may reference macros and
+syntax outside our subset (how real drivers survive wild shader soup).
 
 The implementation is line-based and textual, like the preprocessors inside
-real GLSL compilers (which operate before tokenization).
+real GLSL compilers (which operate before tokenization).  The output text is
+**line-preserving**: every consumed source line (directive, inactive branch,
+or continuation) is replaced by an empty line, so line numbers in downstream
+lexer/parser diagnostics refer to the *original* file — essential when the
+input is a wild shader we did not author.
 """
 
 from __future__ import annotations
@@ -61,17 +70,22 @@ def preprocess(source: str, defines: Optional[Dict[str, str]] = None) -> Preproc
     # Stack of (parent_active, this_branch_taken, any_branch_taken_yet)
     cond_stack: List[List[bool]] = []
 
-    lines = _splice_continuations(_strip_block_comments(source))
-    for lineno, raw in enumerate(lines, start=1):
+    last_lineno = 1
+    for lineno, raw, span in _logical_lines(_strip_comments(source)):
+        last_lineno = lineno + span - 1
         stripped = raw.strip()
         if stripped.startswith("#"):
             _directive(stripped, lineno, macros, cond_stack, result)
+            out_lines.extend([""] * span)
             continue
         if _active(cond_stack):
             out_lines.append(_expand_macros(raw, macros, lineno))
+            out_lines.extend([""] * (span - 1))
+        else:
+            out_lines.extend([""] * span)
 
     if cond_stack:
-        raise PreprocessorError("unterminated #if/#ifdef block", len(lines))
+        raise PreprocessorError("unterminated #if/#ifdef block", last_lineno)
 
     while out_lines and not out_lines[-1].strip():
         out_lines.pop()
@@ -79,8 +93,14 @@ def preprocess(source: str, defines: Optional[Dict[str, str]] = None) -> Preproc
     return result
 
 
-def _strip_block_comments(source: str) -> str:
-    """Remove ``/* */`` comments, preserving newlines for line numbering."""
+def _strip_comments(source: str) -> str:
+    """Remove ``/* */`` and ``//`` comments ahead of directive handling.
+
+    A block comment is replaced by one space (so ``a/*x*/b`` stays two
+    tokens) plus every newline it spanned, keeping all subsequent line
+    numbers accurate.  An unterminated block comment reports the line the
+    comment *opened* on.
+    """
     out: List[str] = []
     i = 0
     n = len(source)
@@ -88,7 +108,9 @@ def _strip_block_comments(source: str) -> str:
         if source.startswith("/*", i):
             end = source.find("*/", i + 2)
             if end < 0:
-                raise PreprocessorError("unterminated block comment")
+                raise PreprocessorError("unterminated block comment",
+                                        source.count("\n", 0, i) + 1)
+            out.append(" ")
             out.append("\n" * source.count("\n", i, end + 2))
             i = end + 2
         elif source.startswith("//", i):
@@ -100,19 +122,35 @@ def _strip_block_comments(source: str) -> str:
     return "".join(out)
 
 
-def _splice_continuations(source: str) -> List[str]:
-    """Join lines ending in a backslash (macro bodies spanning lines)."""
+# Backwards-compatible alias (the comment stripper used to handle only block
+# comments; tests and callers may still import it under the old name).
+_strip_block_comments = _strip_comments
+
+
+def _logical_lines(source: str) -> List[Tuple[int, str, int]]:
+    """Split into logical lines, splicing backslash continuations.
+
+    Yields ``(first_lineno, text, span)`` where *span* is how many physical
+    lines the logical line covers, so callers can keep output and
+    diagnostics aligned with the original file.
+    """
     lines = source.split("\n")
-    out: List[str] = []
+    out: List[Tuple[int, str, int]] = []
     buffer = ""
-    for line in lines:
+    start = 1
+    span = 0
+    for number, line in enumerate(lines, start=1):
+        if not span:
+            start = number
+        span += 1
         if line.endswith("\\"):
             buffer += line[:-1] + " "
         else:
-            out.append(buffer + line)
+            out.append((start, buffer + line, span))
             buffer = ""
-    if buffer:
-        out.append(buffer)
+            span = 0
+    if span:
+        out.append((start, buffer, span))
     return out
 
 
@@ -132,7 +170,9 @@ def _directive(
         return
     match = _WORD_RE.match(body)
     if not match:
-        raise PreprocessorError(f"malformed directive {line!r}", lineno)
+        if _active(cond_stack):
+            raise PreprocessorError(f"malformed directive {line!r}", lineno)
+        return  # garbage directives in skipped groups are ignored, per C
     name = match.group(0)
     rest = body[match.end() :].strip()
 
@@ -140,19 +180,24 @@ def _directive(
         macro = rest.split()[0] if rest else ""
         if not macro:
             raise PreprocessorError(f"#{name} requires a macro name", lineno)
-        taken = (macro in macros) == (name == "ifdef")
-        cond_stack.append([_active(cond_stack), taken, taken])
+        parent = _active(cond_stack)
+        taken = parent and (macro in macros) == (name == "ifdef")
+        cond_stack.append([parent, taken, taken])
         return
     if name == "if":
-        taken = bool(_eval_condition(rest, macros, lineno))
-        cond_stack.append([_active(cond_stack), taken, taken])
+        # C semantics: the condition of a conditional inside an inactive
+        # group is *not* evaluated — it may use macros or syntax we cannot
+        # handle, and that must not be an error.
+        parent = _active(cond_stack)
+        taken = parent and bool(_eval_condition(rest, macros, lineno))
+        cond_stack.append([parent, taken, taken])
         return
     if name == "elif":
         if not cond_stack:
             raise PreprocessorError("#elif without #if", lineno)
         frame = cond_stack[-1]
-        if frame[2]:
-            frame[1] = False
+        if not frame[0] or frame[2]:
+            frame[1] = False  # parent inactive or a branch already taken
         else:
             frame[1] = bool(_eval_condition(rest, macros, lineno))
             frame[2] = frame[1]
@@ -184,6 +229,8 @@ def _directive(
         result.extensions.append(rest)
     elif name == "pragma":
         pass
+    elif name == "error":
+        raise PreprocessorError(f"#error {rest}".strip(), lineno)
     else:
         raise PreprocessorError(f"unsupported directive #{name}", lineno)
 
@@ -286,8 +333,197 @@ def _parse_macro_args(
     raise PreprocessorError("unterminated macro argument list", lineno)
 
 
+# ---------------------------------------------------------------------------
+# #if condition evaluation — a real tokenizer + C-semantics evaluator
+# ---------------------------------------------------------------------------
+
+_COND_TOKEN_RE = re.compile(
+    r"""\s*(?:
+        (?P<num>0[xX][0-9a-fA-F]+[uUlL]*|\.?\d[\w.]*)
+      | (?P<ident>[A-Za-z_]\w*)
+      | (?P<op><<|>>|<=|>=|==|!=|&&|\|\||[-+*/%()!~<>&^|?:])
+    )""",
+    re.VERBOSE,
+)
+
+#: Binary operator precedence for conditions, C order, higher binds tighter.
+_COND_PREC = {
+    "||": 1, "&&": 2,
+    "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+def _int_literal(text: str, lineno: int) -> int:
+    """Parse a C integer literal (decimal/hex/octal with u/l suffixes)."""
+    body = text.rstrip("uUlL")
+    try:
+        if body[:2].lower() == "0x":
+            return int(body, 16)
+        if "." in body or ("e" in body.lower() and not body.lower().startswith("0x")):
+            raise ValueError("floating constant")
+        if body.startswith("0") and len(body) > 1:
+            return int(body, 8)
+        return int(body, 10)
+    except (ValueError, IndexError):
+        raise PreprocessorError(
+            f"invalid integer constant {text!r} in #if condition", lineno)
+
+
+class _CondParser:
+    """Recursive-descent parser for ``#if`` expressions.
+
+    Builds a small tuple tree so evaluation can short-circuit ``&&`` / ``||``
+    and ``?:`` the way C requires (a division in a dead branch must not
+    fault).
+    """
+
+    def __init__(self, expr: str, lineno: int):
+        self.lineno = lineno
+        self.tokens: List[str] = []
+        self.values: Dict[int, int] = {}
+        pos = 0
+        while pos < len(expr):
+            match = _COND_TOKEN_RE.match(expr, pos)
+            if not match:
+                if expr[pos:].strip():
+                    raise PreprocessorError(
+                        f"unexpected {expr[pos:].strip()[0]!r} in #if "
+                        f"condition {expr.strip()!r}", lineno)
+                break
+            if match.group("num") is not None:
+                self.values[len(self.tokens)] = _int_literal(
+                    match.group("num"), lineno)
+                self.tokens.append("<num>")
+            elif match.group("ident") is not None:
+                # Remaining identifiers evaluate to 0, per the C convention.
+                self.values[len(self.tokens)] = 0
+                self.tokens.append("<num>")
+            else:
+                self.tokens.append(match.group("op"))
+            pos = match.end()
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def parse(self):
+        """Parse the whole condition; raises on trailing tokens."""
+        tree = self._ternary()
+        if self.peek() is not None:
+            raise PreprocessorError(
+                f"unexpected {self.peek()!r} in #if condition", self.lineno)
+        return tree
+
+    def _ternary(self):
+        cond = self._binary(1)
+        if self.peek() != "?":
+            return cond
+        self.pos += 1
+        then = self._ternary()
+        if self.peek() != ":":
+            raise PreprocessorError("expected ':' in #if condition", self.lineno)
+        self.pos += 1
+        return ("cond", cond, then, self._ternary())
+
+    def _binary(self, min_prec: int):
+        left = self._unary()
+        while True:
+            op = self.peek()
+            prec = _COND_PREC.get(op or "")
+            if prec is None or prec < min_prec:
+                return left
+            self.pos += 1
+            left = ("bin", op, left, self._binary(prec + 1))
+
+    def _unary(self):
+        op = self.peek()
+        if op in ("-", "+", "!", "~"):
+            self.pos += 1
+            return ("un", op, self._unary())
+        if op == "(":
+            self.pos += 1
+            inner = self._ternary()
+            if self.peek() != ")":
+                raise PreprocessorError(
+                    "unbalanced parentheses in #if condition", self.lineno)
+            self.pos += 1
+            return inner
+        if op == "<num>":
+            value = self.values[self.pos]
+            self.pos += 1
+            return ("num", value)
+        raise PreprocessorError(
+            f"expected an operand in #if condition, found {op!r}", self.lineno)
+
+
+def _trunc_div(a: int, b: int) -> int:
+    """C integer division: truncate toward zero (Python // floors)."""
+    q = abs(a) // abs(b)
+    return q if (a < 0) == (b < 0) else -q
+
+
+def _trunc_mod(a: int, b: int) -> int:
+    """C integer remainder: same sign as the dividend."""
+    r = abs(a) % abs(b)
+    return r if a >= 0 else -r
+
+
+def _eval_tree(tree, lineno: int) -> int:
+    kind = tree[0]
+    if kind == "num":
+        return tree[1]
+    if kind == "un":
+        value = _eval_tree(tree[2], lineno)
+        if tree[1] == "-":
+            return -value
+        if tree[1] == "+":
+            return value
+        if tree[1] == "!":
+            return 0 if value else 1
+        return ~value  # "~"
+    if kind == "cond":
+        branch = tree[2] if _eval_tree(tree[1], lineno) else tree[3]
+        return _eval_tree(branch, lineno)
+    op = tree[1]
+    left = _eval_tree(tree[2], lineno)
+    if op == "&&":
+        return 1 if left and _eval_tree(tree[3], lineno) else 0
+    if op == "||":
+        return 1 if left or _eval_tree(tree[3], lineno) else 0
+    right = _eval_tree(tree[3], lineno)
+    if op in ("/", "%"):
+        if right == 0:
+            raise PreprocessorError("division by zero in #if condition", lineno)
+        return _trunc_div(left, right) if op == "/" else _trunc_mod(left, right)
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "<<":
+        return left << right
+    if op == ">>":
+        return left >> right
+    if op == "&":
+        return left & right
+    if op == "|":
+        return left | right
+    if op == "^":
+        return left ^ right
+    comparisons = {"==": left == right, "!=": left != right,
+                   "<": left < right, ">": left > right,
+                   "<=": left <= right, ">=": left >= right}
+    return 1 if comparisons[op] else 0
+
+
 def _eval_condition(expr: str, macros: Dict[str, MacroDef], lineno: int) -> int:
-    """Evaluate a ``#if`` expression to an integer."""
+    """Evaluate a ``#if`` expression to an integer with C semantics."""
     # Resolve defined(X) / defined X before macro expansion.
     def replace_defined(match: re.Match) -> str:
         name = match.group(1) or match.group(2)
@@ -295,14 +531,6 @@ def _eval_condition(expr: str, macros: Dict[str, MacroDef], lineno: int) -> int:
 
     expr = re.sub(r"defined\s*\(\s*(\w+)\s*\)|defined\s+(\w+)", replace_defined, expr)
     expr = _expand_macros(expr, macros, lineno)
-    # Remaining identifiers evaluate to 0 per the C preprocessor convention.
-    expr = _WORD_RE.sub("0", expr)
-    expr = expr.replace("&&", " and ").replace("||", " or ")
-    expr = expr.replace("!=", "__NE__").replace("!", " not ").replace("__NE__", "!=")
     if not expr.strip():
         raise PreprocessorError("empty #if condition", lineno)
-    try:
-        value = eval(expr, {"__builtins__": {}}, {})  # noqa: S307 - sanitized arithmetic
-    except Exception as exc:
-        raise PreprocessorError(f"cannot evaluate condition {expr!r}: {exc}", lineno)
-    return int(bool(value)) if isinstance(value, bool) else int(value)
+    return _eval_tree(_CondParser(expr, lineno).parse(), lineno)

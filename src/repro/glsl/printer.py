@@ -27,6 +27,8 @@ def print_shader(shader: ast.Shader) -> str:
     lines: List[str] = []
     if shader.version:
         lines.append(f"#version {shader.version}")
+    for struct in shader.structs:
+        lines.extend(_struct_decl(struct))
     for decl in shader.globals:
         lines.append(_global_decl(decl))
     for fn in shader.functions:
@@ -45,6 +47,15 @@ def format_float(value: float) -> str:
     if "e" in text or "E" in text or "." in text:
         return text
     return text + ".0"
+
+
+def _struct_decl(decl: ast.StructDecl) -> List[str]:
+    lines = [f"struct {decl.name}", "{"]
+    for field_name, field_ty in decl.ty.fields:
+        ty, suffix = _split_array(field_ty)
+        lines.append(f"    {ty} {field_name}{suffix};")
+    lines.append("};")
+    return lines
 
 
 def _global_decl(decl: ast.GlobalDecl) -> str:
@@ -113,6 +124,23 @@ def _stmt(stmt: ast.Stmt, indent: int) -> List[str]:
     if isinstance(stmt, ast.WhileStmt):
         lines = [pad + f"while ({print_expr(stmt.cond)})"]
         lines.extend(_block(stmt.body, indent))
+        return lines
+    if isinstance(stmt, ast.DoWhileStmt):
+        lines = [pad + "do"]
+        lines.extend(_block(stmt.body, indent))
+        lines.append(pad + f"while ({print_expr(stmt.cond)});")
+        return lines
+    if isinstance(stmt, ast.SwitchStmt):
+        lines = [pad + f"switch ({print_expr(stmt.cond)})", pad + "{"]
+        for case in stmt.cases:
+            if case.values is None:
+                lines.append(pad + "default:")
+            else:
+                for value in case.values:
+                    lines.append(pad + f"case {value}:")
+            for inner in case.body:
+                lines.extend(_stmt(inner, indent + 1))
+        lines.append(pad + "}")
         return lines
     if isinstance(stmt, ast.ReturnStmt):
         if stmt.value is None:

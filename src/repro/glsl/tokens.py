@@ -22,10 +22,10 @@ class TokenKind(Enum):
 #: separate set so the parser can distinguish declarations from expressions.
 KEYWORDS = frozenset(
     {
-        "attribute", "break", "const", "continue", "discard", "do", "else",
-        "flat", "for", "highp", "if", "in", "inout", "layout", "lowp",
-        "mediump", "out", "precision", "return", "struct", "uniform",
-        "varying", "void", "while",
+        "attribute", "break", "case", "const", "continue", "default",
+        "discard", "do", "else", "flat", "for", "highp", "if", "in", "inout",
+        "layout", "lowp", "mediump", "out", "precision", "return", "struct",
+        "switch", "uniform", "varying", "void", "while",
     }
 )
 
@@ -51,6 +51,21 @@ MULTI_CHAR_OPS = (
 )
 
 SINGLE_CHAR_OPS = frozenset("+-*/%<>=!&|^?:;,.()[]{}~")
+
+
+def parse_int_literal(text: str) -> int:
+    """Value of a GLSL integer literal token (decimal, hex, or octal).
+
+    Accepts the optional ``u``/``U`` suffix.  Mirrors the GLSL spec: a
+    ``0x``/``0X`` prefix is hexadecimal, a leading ``0`` is octal, anything
+    else decimal.
+    """
+    body = text.rstrip("uU")
+    if body[:2].lower() == "0x":
+        return int(body, 16)
+    if body.startswith("0") and len(body) > 1:
+        return int(body, 8)
+    return int(body, 10)
 
 
 @dataclass(frozen=True)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.errors import TypeError_
 
@@ -88,6 +88,34 @@ class Sampler(GLSLType):
             "sampler3D": 3,
             "samplerCube": 3,
         }[self.name]
+
+
+@dataclass(frozen=True)
+class Struct(GLSLType):
+    """A user-declared ``struct`` type: an ordered set of named fields.
+
+    Structs enter through the wild-GLSL ingest front end
+    (:mod:`repro.glsl.ingest`); the normalizer flattens every struct value
+    into one variable per (recursively scalar/vector/matrix/array) field
+    before lowering, so the IR never sees one.
+    """
+
+    name: str
+    fields: "Tuple[Tuple[str, GLSLType], ...]"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def field_type(self, name: str) -> GLSLType:
+        """Type of the field called *name* (raises TypeError_ if absent)."""
+        for field_name, ty in self.fields:
+            if field_name == name:
+                return ty
+        raise TypeError_(f"struct {self.name} has no field {name!r}")
+
+    @property
+    def field_names(self) -> "Tuple[str, ...]":
+        return tuple(name for name, _ in self.fields)
 
 
 @dataclass(frozen=True)

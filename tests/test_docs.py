@@ -17,7 +17,7 @@ from repro.reporting import artifact_names
 ROOT = Path(__file__).resolve().parent.parent
 
 DOC_FILES = ("architecture.md", "paper_mapping.md", "cli.md", "corpus.md",
-             "tutorial.md", "service.md", "dispatch.md")
+             "tutorial.md", "service.md", "dispatch.md", "import.md")
 
 
 def test_docs_tree_exists():

@@ -1,0 +1,69 @@
+"""Delta-debugging minimizer tests: identical failure, 1-minimality."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.glsl.minimize import (FailureSignature, failure_of,
+                                 minimize_source, write_reproducer)
+
+BROKEN = Path("examples/broken/interface_block.frag").read_text()
+
+CLEAN = "out float r;\nvoid main() { r = 1.0; }\n"
+
+
+def test_failure_signature_masks_positions():
+    sig_a = FailureSignature.of_exception(ValueError("line 4: bad token"))
+    sig_b = FailureSignature.of_exception(ValueError("line 9, col 2: bad token"))
+    assert sig_a.message == "line N: bad token"
+    assert sig_b.message == "line N, col N: bad token"
+    assert sig_a != sig_b
+    assert sig_a == FailureSignature.of_exception(
+        ValueError("line 40: bad token"))
+
+
+def test_clean_source_has_no_failure():
+    assert failure_of(CLEAN) is None
+    assert minimize_source(CLEAN) is None
+
+
+def test_minimized_source_fails_identically():
+    original = failure_of(BROKEN)
+    assert original is not None
+    result = minimize_source(BROKEN)
+    assert result is not None
+    assert result.signature == FailureSignature.of_exception(original)
+    shrunk = failure_of(result.minimized)
+    assert FailureSignature.of_exception(shrunk) == result.signature
+    assert result.minimized_lines <= result.original_lines
+
+
+def test_minimized_source_is_one_minimal():
+    result = minimize_source(BROKEN)
+    lines = result.minimized.splitlines()
+    assert lines
+    for i in range(len(lines)):
+        reduced = "\n".join(lines[:i] + lines[i + 1:])
+        exc = failure_of(reduced)
+        sig = FailureSignature.of_exception(exc) if exc is not None else None
+        assert sig != result.signature, (
+            f"line {i + 1} of the minimized reproducer is removable")
+
+
+def test_write_reproducer_emits_shader_and_passing_test(tmp_path):
+    result = minimize_source(BROKEN)
+    shader_path, test_path = write_reproducer(result, tmp_path, "broken-input")
+    assert shader_path.name == "broken_input.min.frag"
+    assert test_path.name == "test_broken_input.py"
+    assert shader_path.read_text() == result.minimized + "\n"
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", str(test_path)],
+        capture_output=True, text=True, cwd=str(tmp_path),
+        env={"PYTHONPATH": str(Path("src").resolve()), "PATH": "/usr/bin:/bin"})
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_minimizer_reports_probe_count():
+    result = minimize_source(BROKEN)
+    assert result.probes > 0
+    assert result.error_message

@@ -1,0 +1,258 @@
+"""Normalizer tests: do/while, switch, and struct flattening rewrites.
+
+Semantics are checked by interpreting the ingested (normalized) shader
+against a hand-written core-subset equivalent — the two must agree on
+every output bit-for-bit (same arithmetic, same order).
+"""
+
+import pytest
+
+from helpers import assert_outputs_close, run_source
+from repro.errors import NormalizeError
+from repro.glsl import ast, normalize_shader, parse_shader, print_shader
+from repro.glsl import types as T
+from repro.glsl.ingest import ingest_source
+
+
+def normalized(source: str) -> ast.Shader:
+    return normalize_shader(parse_shader(source))
+
+
+def canonical(source: str) -> str:
+    return ingest_source(source).canonical
+
+
+# ---------------------------------------------------------------------------
+# do/while
+# ---------------------------------------------------------------------------
+
+
+def test_do_while_becomes_while_with_latch():
+    shader = normalized(
+        "void main() { int i = 0; do { i++; } while (i < 3); }")
+    body = shader.function("main").body.body
+    wrapper = body[1]
+    assert isinstance(wrapper, ast.BlockStmt)
+    assert isinstance(wrapper.body[0], ast.DeclStmt)  # bool latch
+    assert isinstance(wrapper.body[1], ast.WhileStmt)
+    cond = wrapper.body[1].cond
+    assert isinstance(cond, ast.Binary) and cond.op == "||"
+
+
+def test_do_while_body_runs_before_first_test():
+    wild = """
+    out float result;
+    void main() {
+        float acc = 0.0;
+        int i = 5;
+        do { acc += 1.0; i++; } while (i < 3);
+        result = acc;
+    }
+    """
+    # The condition is false up front, but a do/while body still runs once.
+    outputs = run_source(canonical(wild))
+    assert outputs["result"] == 1.0
+
+
+def test_do_while_matches_hand_written_loop():
+    wild = """
+    uniform float scale;
+    out float result;
+    void main() {
+        float acc = 0.0;
+        int i = 0;
+        do { acc += scale * float(i); i++; } while (i < 4);
+        result = acc;
+    }
+    """
+    hand = """
+    uniform float scale;
+    out float result;
+    void main() {
+        float acc = 0.0;
+        for (int i = 0; i < 4; i++) { acc += scale * float(i); }
+        result = acc;
+    }
+    """
+    uniforms = {"scale": 1.5}
+    assert_outputs_close(run_source(canonical(wild), uniforms=uniforms),
+                         run_source(hand, uniforms=uniforms))
+
+
+# ---------------------------------------------------------------------------
+# switch
+# ---------------------------------------------------------------------------
+
+SWITCH_SHADER = """
+uniform int mode;
+out float result;
+void main() {
+    float x = 1.0;
+    switch (mode) {
+    case 0:
+        x = 10.0;
+        break;
+    case 2:
+        x += 100.0;
+    case 1:
+        x *= 2.0;
+        break;
+    default:
+        x = -1.0;
+        break;
+    }
+    result = x;
+}
+"""
+
+
+@pytest.mark.parametrize("mode,expected", [
+    (0, 10.0),        # plain case
+    (2, 202.0),       # falls through into case 1: (1+100)*2
+    (1, 2.0),         # reached directly
+    (7, -1.0),        # default
+])
+def test_switch_fallthrough_semantics(mode, expected):
+    outputs = run_source(canonical(SWITCH_SHADER), uniforms={"mode": mode})
+    assert outputs["result"] == expected
+
+
+def test_switch_merged_labels_share_body():
+    wild = """
+    uniform int mode;
+    out float result;
+    void main() {
+        float x = 0.0;
+        switch (mode) { case 0: case 1: x = 5.0; break; default: break; }
+        result = x;
+    }
+    """
+    text = canonical(wild)
+    for mode, expected in [(0, 5.0), (1, 5.0), (2, 0.0)]:
+        assert run_source(text, uniforms={"mode": mode})["result"] == expected
+
+
+def test_switch_becomes_if_chain():
+    shader = normalized(
+        "uniform int m;\nvoid main() { switch (m) { case 1: break; } }")
+    text = print_shader(shader)
+    assert "switch" not in text
+    assert "if (__sw0 == 1)" in text
+
+
+def test_switch_mid_case_break_rejected():
+    with pytest.raises(NormalizeError) as excinfo:
+        normalized("uniform int m;\nvoid main() {\n"
+                   "  switch (m) { case 1: if (true) { break; } m; } }")
+    assert "trailing statement" in str(excinfo.value)
+
+
+def test_break_inside_loop_inside_case_allowed():
+    shader = normalized(
+        "uniform int m;\nvoid main() { switch (m) {\n"
+        "  case 1: while (true) { break; } break; } }")
+    assert "switch" not in print_shader(shader)
+
+
+# ---------------------------------------------------------------------------
+# struct flattening
+# ---------------------------------------------------------------------------
+
+STRUCT_SHADER = """
+struct Light { vec3 pos; float power; };
+uniform vec3 light_pos;
+out vec4 result;
+float apply(Light l) { return l.power + l.pos.x; }
+void main() {
+    Light a = Light(light_pos, 2.0);
+    Light b = a;
+    b.power = a.power * 3.0;
+    result = vec4(apply(b));
+}
+"""
+
+
+def test_struct_flattening_names_and_types():
+    shader = normalized(STRUCT_SHADER)
+    assert shader.structs == []
+    fn = shader.function("apply")
+    assert [p.name for p in fn.params] == ["l__pos", "l__power"]
+    assert [p.ty for p in fn.params] == [T.VEC3, T.FLOAT]
+    text = print_shader(shader)
+    assert "struct" not in text
+    assert "Light" not in text
+
+
+def test_struct_flattening_semantics():
+    hand = """
+    uniform vec3 light_pos;
+    out vec4 result;
+    float apply(vec3 pos, float power) { return power + pos.x; }
+    void main() {
+        float a_power = 2.0;
+        float b_power = a_power * 3.0;
+        result = vec4(apply(light_pos, b_power));
+    }
+    """
+    uniforms = {"light_pos": (0.25, 0.5, 0.75)}
+    assert_outputs_close(
+        run_source(canonical(STRUCT_SHADER), uniforms=uniforms),
+        run_source(hand, uniforms=uniforms))
+
+
+def test_nested_struct_flattening():
+    wild = """
+    struct Inner { float a; };
+    struct Outer { Inner inner; float b; };
+    out float result;
+    void main() {
+        Outer o = Outer(Inner(3.0), 4.0);
+        result = o.inner.a + o.b;
+    }
+    """
+    text = canonical(wild)
+    assert "o__inner__a" in text
+    assert run_source(text)["result"] == 7.0
+
+
+def test_struct_uniform_flattened_to_leaf_uniforms():
+    shader = normalized(
+        "struct P { vec2 scale; float bias; };\nuniform P params;\n"
+        "out float r;\nvoid main() { r = params.bias; }")
+    names = [(g.qualifier, g.name) for g in shader.globals]
+    assert ("uniform", "params__scale") in names
+    assert ("uniform", "params__bias") in names
+
+
+def test_struct_array_field_flattens():
+    wild = """
+    struct Taps { float w[3]; };
+    out float result;
+    void main() {
+        Taps t;
+        t.w[0] = 1.0; t.w[1] = 2.0; t.w[2] = 4.0;
+        result = t.w[0] + t.w[1] + t.w[2];
+    }
+    """
+    assert run_source(canonical(wild))["result"] == 7.0
+
+
+def test_struct_return_type_rejected():
+    with pytest.raises(NormalizeError) as excinfo:
+        normalized("struct S { float x; };\n"
+                   "S make() { return S(1.0); }\nvoid main() {}")
+    assert "struct return" in str(excinfo.value)
+
+
+def test_struct_array_rejected():
+    with pytest.raises(NormalizeError):
+        normalized("struct S { float x; };\n"
+                   "void main() { S many[3]; }")
+
+
+def test_normalize_idempotent_on_core_subset():
+    source = ("uniform float u;\nout vec4 color;\n"
+              "void main() { color = vec4(u); }")
+    once = print_shader(normalize_shader(parse_shader(source)))
+    twice = print_shader(normalize_shader(parse_shader(once)))
+    assert once == twice

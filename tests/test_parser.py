@@ -38,9 +38,13 @@ def test_precision_statement_skipped():
     assert shader.globals == []
 
 
-def test_struct_rejected():
-    with pytest.raises(ParseError):
-        parse_shader("struct Light { vec3 pos; };\nvoid main() {}")
+def test_struct_declaration_parses():
+    shader = parse_shader("struct Light { vec3 pos; float power; };\nvoid main() {}")
+    assert len(shader.structs) == 1
+    struct = shader.structs[0]
+    assert struct.name == "Light"
+    assert struct.ty.field_names == ("pos", "power")
+    assert struct.ty.field_type("pos") == T.VEC3
 
 
 def test_local_declaration_type():
@@ -239,9 +243,10 @@ def test_while_loop_structure():
     assert isinstance(stmt, ast.WhileStmt)
 
 
-def test_do_while_rejected():
-    with pytest.raises(ParseError):
-        parse_main("do { } while (true);")
+def test_do_while_parses():
+    stmt = first_stmt("do { } while (true);")
+    assert isinstance(stmt, ast.DoWhileStmt)
+    assert isinstance(stmt.cond, ast.BoolLit)
 
 
 def test_logical_ops_require_bool():
@@ -257,3 +262,150 @@ def test_modulo_requires_int():
 def test_loop_scope_isolated():
     with pytest.raises(ParseError):
         parse_main("for (int i = 0; i < 3; i++) { } int j = i;")
+
+
+# ---------------------------------------------------------------------------
+# Wild-GLSL widening: const-expression array sizes, integer literal bases,
+# struct declarations, do/while, and switch (see repro.glsl.normalize for
+# how these leave the AST again before lowering).
+# ---------------------------------------------------------------------------
+
+
+def test_const_int_name_as_array_size():
+    # Previously `float a[N];` was rejected: sizes required a literal.
+    shader = parse_shader(
+        "const int N = 4;\nuniform float w[N];\nvoid main() {}")
+    assert shader.globals[1].ty == T.Array(T.FLOAT, 4)
+
+
+def test_const_expression_array_size():
+    shader = parse_shader(
+        "const int R = 3;\nuniform float w[2 * R + 1];\nvoid main() {}")
+    assert shader.globals[1].ty == T.Array(T.FLOAT, 7)
+
+
+def test_local_const_int_array_size():
+    fn = parse_main("const int n = 2; float a[n + n];")
+    assert fn.body.body[1].declarators[0].ty == T.Array(T.FLOAT, 4)
+
+
+def test_const_size_division_truncates_toward_zero():
+    shader = parse_shader(
+        "const int N = 7;\nuniform float w[N / 2];\nvoid main() {}")
+    assert shader.globals[1].ty == T.Array(T.FLOAT, 3)
+
+
+def test_non_const_array_size_rejected():
+    with pytest.raises(ParseError) as excinfo:
+        parse_main("int n = 4; float a[n];")
+    assert "constant integer expression" in str(excinfo.value)
+
+
+def test_non_const_global_name_in_size_rejected():
+    with pytest.raises(ParseError):
+        parse_shader("uniform int n;\nuniform float w[n];\nvoid main() {}")
+
+
+def test_hex_int_literal_value():
+    stmt = first_stmt("int x = 0x1F;")
+    assert stmt.declarators[0].init.value == 31
+
+
+def test_octal_int_literal_value():
+    stmt = first_stmt("int x = 010;")
+    assert stmt.declarators[0].init.value == 8
+
+
+def test_hex_literal_as_array_size():
+    fn = parse_main("float a[0x4];")
+    assert fn.body.body[0].declarators[0].ty == T.Array(T.FLOAT, 4)
+
+
+def test_struct_variable_and_field_access():
+    fn = parse_main(
+        "Light l = Light(vec3(1.0), 2.0); float p = l.power;",
+        prelude="struct Light { vec3 pos; float power; };")
+    init = fn.body.body[1].declarators[0].init
+    assert isinstance(init, ast.Member)
+    assert init.ty == T.FLOAT
+    assert isinstance(init.base.ty, T.Struct)
+
+
+def test_struct_constructor_arity_checked():
+    with pytest.raises(ParseError):
+        parse_main("Light l = Light(vec3(1.0));",
+                   prelude="struct Light { vec3 pos; float power; };")
+
+
+def test_struct_unknown_field_rejected():
+    with pytest.raises(ParseError):
+        parse_main("Light l = Light(vec3(1.0), 2.0); float p = l.radius;",
+                   prelude="struct Light { vec3 pos; float power; };")
+
+
+def test_struct_redeclaration_rejected():
+    with pytest.raises(ParseError):
+        parse_shader("struct A { float x; };\nstruct A { float y; };\n"
+                     "void main() {}")
+
+
+def test_struct_duplicate_field_rejected():
+    with pytest.raises(ParseError):
+        parse_shader("struct A { float x; float x; };\nvoid main() {}")
+
+
+def test_struct_trailing_instance_rejected():
+    with pytest.raises(ParseError) as excinfo:
+        parse_shader("struct A { float x; } a;\nvoid main() {}")
+    assert "instance" in str(excinfo.value)
+
+
+def test_nested_struct_field():
+    shader = parse_shader(
+        "struct Inner { float a; };\n"
+        "struct Outer { Inner inner; float b; };\n"
+        "void main() { Outer o = Outer(Inner(1.0), 2.0); "
+        "float x = o.inner.a; }")
+    stmt = shader.function("main").body.body[1]
+    assert stmt.declarators[0].init.ty == T.FLOAT
+
+
+def test_do_while_condition_must_be_bool():
+    with pytest.raises(ParseError):
+        parse_main("do { } while (1);")
+
+
+def test_switch_parses_with_fallthrough_groups():
+    fn = parse_main(
+        "int x = 0; switch (m) { case 0: case 1: x = 1; break; "
+        "case 2: x = 2; default: x = 3; break; }",
+        prelude="uniform int m;")
+    stmt = fn.body.body[1]
+    assert isinstance(stmt, ast.SwitchStmt)
+    # `case 0: case 1:` merged into one group; default's values is None.
+    assert [c.values for c in stmt.cases] == [[0, 1], [2], None]
+
+
+def test_switch_case_label_const_folded():
+    fn = parse_main(
+        "const int K = 2; switch (m) { case K + 1: break; }",
+        prelude="uniform int m;")
+    assert fn.body.body[1].cases[0].values == [3]
+
+
+def test_switch_duplicate_case_rejected():
+    with pytest.raises(ParseError):
+        parse_main("switch (m) { case 1: break; case 1: break; }",
+                   prelude="uniform int m;")
+
+
+def test_switch_non_integer_scrutinee_rejected():
+    with pytest.raises(ParseError):
+        parse_main("switch (f) { case 1: break; }",
+                   prelude="uniform float f;")
+
+
+def test_switch_statement_before_first_label_rejected():
+    with pytest.raises(ParseError):
+        parse_main("int x; switch (m) { x = 1; case 1: break; }",
+                   prelude="uniform int m;")

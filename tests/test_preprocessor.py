@@ -140,3 +140,150 @@ def test_undefined_identifier_in_if_is_zero():
 def test_extension_recorded():
     result = preprocess("#extension GL_EXT_foo : enable\n")
     assert result.extensions == ["GL_EXT_foo : enable"]
+
+
+# ---------------------------------------------------------------------------
+# Inactive-region semantics: conditions inside skipped groups must not be
+# evaluated (C preprocessor rule) — previously `#if garbage(` inside an
+# inactive `#if 0` block raised instead of being skipped.
+# ---------------------------------------------------------------------------
+
+
+def test_inactive_if_condition_not_evaluated():
+    src = "#if 0\n#if WEIRD_MACRO(1,\nint a;\n#endif\n#endif\nint b;\n"
+    out = text(src)
+    assert "int a;" not in out
+    assert "int b;" in out
+
+
+def test_inactive_elif_condition_not_evaluated():
+    src = "#if 1\nint a;\n#elif )bad syntax(\nint b;\n#endif\n"
+    out = text(src)
+    assert "int a;" in out
+    assert "int b;" not in out
+
+
+def test_elif_after_taken_branch_not_evaluated():
+    # The first branch was taken, so the #elif condition is dead and must
+    # not be evaluated even if it would divide by zero.
+    src = "#define N 0\n#if 1\nint a;\n#elif 1 / N\nint b;\n#endif\n"
+    out = text(src)
+    assert "int a;" in out
+    assert "int b;" not in out
+
+
+def test_nested_inactive_ifdef_garbage_directive_skipped():
+    src = "#ifdef NOPE\n#if\n#endif\n#endif\nint x;\n"
+    assert "int x;" in text(src)
+
+
+# ---------------------------------------------------------------------------
+# Condition evaluation: hex/octal literals, C integer division, unary ops.
+# Previously hex literals were mangled (0x10 -> 00) and division used
+# Python float semantics (#if 1/2 was true).
+# ---------------------------------------------------------------------------
+
+
+def test_if_hex_literal():
+    assert "int a;" in text("#if 0x10 == 16\nint a;\n#endif\n")
+
+
+def test_if_hex_literal_with_suffix():
+    assert "int a;" in text("#if 0xFFu > 0xFE\nint a;\n#endif\n")
+
+
+def test_if_octal_literal():
+    assert "int a;" in text("#if 010 == 8\nint a;\n#endif\n")
+
+
+def test_if_integer_division_truncates():
+    # 1/2 == 0 in C; Python float division would make this branch live.
+    assert "int a;" not in text("#if 1 / 2\nint a;\n#endif\n")
+
+
+def test_if_division_truncates_toward_zero():
+    assert "int a;" in text("#if -7 / 2 == -3\nint a;\n#endif\n")
+
+
+def test_if_modulo_c_semantics():
+    assert "int a;" in text("#if -7 % 2 == -1\nint a;\n#endif\n")
+
+
+def test_if_unary_not():
+    assert "int a;" in text("#if !0\nint a;\n#endif\n")
+    assert "int b;" not in text("#if !5\nint b;\n#endif\n")
+
+
+def test_if_unary_bitwise_not():
+    assert "int a;" in text("#if ~0 == -1\nint a;\n#endif\n")
+
+
+def test_if_unary_minus():
+    assert "int a;" in text("#if -(1) < 0\nint a;\n#endif\n")
+
+
+def test_if_shift_and_bitwise_ops():
+    assert "int a;" in text("#if (1 << 4) == 0x10\nint a;\n#endif\n")
+    assert "int b;" in text("#if (6 & 3) == 2 && (6 | 3) == 7\nint b;\n#endif\n")
+
+
+def test_if_short_circuit_guards_division():
+    # defined(X) && ... must not evaluate the division when X is undefined.
+    src = "#if defined(X) && 10 / X > 1\nint a;\n#endif\nint b;\n"
+    out = text(src)
+    assert "int a;" not in out
+    assert "int b;" in out
+
+
+def test_if_ternary_condition():
+    assert "int a;" in text("#if 1 ? 2 : 0\nint a;\n#endif\n")
+
+
+def test_if_active_division_by_zero_raises():
+    with pytest.raises(PreprocessorError):
+        text("#if 1 / 0\nint a;\n#endif\n")
+
+
+def test_if_float_literal_rejected():
+    with pytest.raises(PreprocessorError):
+        text("#if 1.5\nint a;\n#endif\n")
+
+
+# ---------------------------------------------------------------------------
+# Comment stripping: accurate positions and preserved newlines.
+# Previously "unterminated block comment" carried no line number.
+# ---------------------------------------------------------------------------
+
+
+def test_unterminated_block_comment_reports_line():
+    src = "float a;\nfloat b;\n/* never closed\nfloat c;\n"
+    with pytest.raises(PreprocessorError) as excinfo:
+        text(src)
+    assert "line 3" in str(excinfo.value)
+    assert excinfo.value.line == 3
+
+
+def test_block_comment_preserves_newlines():
+    # A multi-line comment must not shift following code onto earlier
+    # lines, or downstream parse errors would point at the wrong place.
+    src = "float a;\n/* one\ntwo */\nfloat b;\n"
+    out = text(src)
+    assert out.splitlines().index("float b;") == 3
+
+
+def test_directive_lines_preserved_as_blanks():
+    # Directive and inactive lines become empty lines so that lexer/parser
+    # diagnostics reference original file line numbers.
+    src = "#define N 3\n#if 0\nint dead;\n#endif\nfloat x = N;\n"
+    lines = text(src).splitlines()
+    assert lines[4] == "float x = 3;"
+
+
+def test_error_directive_raises_when_active():
+    with pytest.raises(PreprocessorError) as excinfo:
+        text("#error custom message\n")
+    assert "custom message" in str(excinfo.value)
+
+
+def test_error_directive_skipped_when_inactive():
+    assert "int x;" in text("#if 0\n#error nope\n#endif\nint x;\n")
